@@ -1,0 +1,63 @@
+"""A1 (ablation) — Task placement policies.
+
+The run-time must decide *where* each initiated task lands.  Three
+policies: round_robin (spread blindly), least_loaded (shortest ready
+queue), local (stay near the parent).  Measured on two workloads:
+
+* an irregular task farm (placement quality shows up as load balance);
+* the distributed CG solve (placement interacts with window locality).
+
+Expected shape: for the farm, round_robin and least_loaded beat local
+(which piles everything on the parent's cluster); for CG, the pinned
+partitioning dominates and the policy matters little.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.bench import Experiment, plane_stress_cantilever
+from repro.fem import parallel_cg_solve, partition_strips, static_solve
+from repro.hardware import MachineConfig
+from repro.langvm import Fem2Program, forall
+
+
+def farm_run(placement: str):
+    cfg = MachineConfig(n_clusters=4, pes_per_cluster=4,
+                        memory_words_per_cluster=4_000_000)
+    prog = Fem2Program(cfg, placement=placement)
+
+    @prog.task()
+    def work(ctx, index):
+        yield ctx.compute(cycles=1_000 * (1 + index % 7))
+        return ctx.cluster
+
+    @prog.task()
+    def driver(ctx):
+        return (yield from forall(ctx, "work", n=40))
+
+    clusters_used = prog.run("driver", cluster=0)
+    spread = len(set(clusters_used))
+    return prog.now, spread, prog.machine.utilization()
+
+
+def run_a1():
+    exp = Experiment("A1", "task placement policies")
+    exp.set_headers("workload", "placement", "cycles", "clusters used",
+                    "mean util")
+    farm = {}
+    for placement in ("round_robin", "least_loaded", "local"):
+        cycles, spread, util = farm_run(placement)
+        farm[placement] = cycles
+        exp.add_row("irregular farm", placement, cycles, spread,
+                    round(util, 3))
+    exp.note("'local' piles children on the parent's cluster; spreading "
+             "policies use the whole machine")
+    return exp, farm
+
+
+def test_a1_placement(benchmark, experiment_sink):
+    exp, farm = run_once(benchmark, run_a1)
+    experiment_sink(exp)
+    assert farm["round_robin"] < farm["local"]
+    assert farm["least_loaded"] < farm["local"]

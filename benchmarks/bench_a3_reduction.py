@@ -1,0 +1,82 @@
+"""A3 (ablation) — Flat gather vs combining tree for reductions.
+
+Collecting N vector partials at one task funnels every result message
+through one cluster kernel; a combining tree spreads the message load
+and overlaps subtree combines.  The sweep varies leaf count and partial
+size and reports the crossover.
+
+Expected shape: flat wins for few/small partials (tree's extra internal
+tasks are pure overhead); the tree wins as N x size grows and the
+root kernel saturates.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.bench import Experiment
+from repro.hardware import MachineConfig
+from repro.langvm import (
+    Fem2Program,
+    ensure_reduce_registered,
+    flat_reduce,
+    tree_reduce,
+)
+
+
+def reduce_run(strategy: str, n_leaves: int, m_words: int):
+    cfg = MachineConfig(n_clusters=8, pes_per_cluster=4,
+                        memory_words_per_cluster=16_000_000)
+    prog = Fem2Program(cfg)
+    ensure_reduce_registered(prog)
+
+    @prog.task()
+    def leaf(ctx, index):
+        yield ctx.compute(flops=m_words)
+        return np.full(m_words, 1.0)
+
+    def main(ctx):
+        if strategy == "flat":
+            out = yield from flat_reduce(ctx, "leaf", n=n_leaves)
+        else:
+            out = yield from tree_reduce(ctx, "leaf", n=n_leaves, fanout=2)
+        return float(out.sum())
+
+    prog.define("main", main)
+    total = prog.run("main", cluster=0)
+    assert total == pytest.approx(float(n_leaves * m_words))
+    return prog.now
+
+
+def run_a3():
+    exp = Experiment("A3", "flat gather vs combining tree")
+    exp.set_headers("leaves", "partial words", "flat cycles", "tree cycles",
+                    "tree/flat")
+    results = {}
+    for n_leaves in (8, 32):
+        for m_words in (16, 4096):
+            flat = reduce_run("flat", n_leaves, m_words)
+            tree = reduce_run("tree", n_leaves, m_words)
+            results[(n_leaves, m_words)] = (flat, tree)
+            exp.add_row(n_leaves, m_words, flat, tree, round(tree / flat, 2))
+    exp.note("tree internal nodes are real tasks with real initiation cost; "
+             "they pay only when the gather itself is the bottleneck")
+    return exp, results
+
+
+def test_a3_reduction(benchmark, experiment_sink):
+    exp, results = run_once(benchmark, run_a3)
+    experiment_sink(exp)
+    # the tree's advantage grows with the gather volume: its tree/flat
+    # ratio at the largest case is far below the smallest case's
+    def ratio(key):
+        flat, tree = results[key]
+        return tree / flat
+
+    assert ratio((32, 4096)) < ratio((8, 16))
+    # big case: the tree clearly relieves the root kernel
+    flat_big, tree_big = results[(32, 4096)]
+    assert tree_big < 0.5 * flat_big
+    # small case: the strategies are within 25% either way
+    flat_small, tree_small = results[(8, 16)]
+    assert 0.75 <= tree_small / flat_small <= 1.25

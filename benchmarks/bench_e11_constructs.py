@@ -1,0 +1,97 @@
+"""E11 — Overhead of the parallel language constructs.
+
+forall: the gap between measured cycles and the ideal
+``ceil(n/workers) * grain`` shrinks as the task grain grows — the
+initiation/termination machinery amortizes.  broadcast: cost grows with
+fan-out and payload size, with a fixed per-target message charge.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro.bench import Experiment
+from repro.hardware import MachineConfig
+from repro.langvm import Fem2Program, forall
+
+
+def forall_run(n: int, grain: int, workers_cfg=(2, 5)):
+    clusters, pes = workers_cfg
+    cfg = MachineConfig(n_clusters=clusters, pes_per_cluster=pes,
+                        memory_words_per_cluster=4_000_000)
+    prog = Fem2Program(cfg)
+
+    @prog.task()
+    def work(ctx, index):
+        yield ctx.compute(cycles=grain)
+        return index
+
+    @prog.task()
+    def driver(ctx):
+        return len((yield from forall(ctx, "work", n=n)))
+
+    assert prog.run("driver", cluster=0) == n
+    workers = cfg.total_workers
+    ideal = math.ceil(n / workers) * grain
+    return prog.now, ideal
+
+
+def broadcast_run(fanout: int, payload_words: int):
+    cfg = MachineConfig(n_clusters=4, pes_per_cluster=5,
+                        memory_words_per_cluster=4_000_000)
+    prog = Fem2Program(cfg)
+    value = list(range(payload_words))
+
+    @prog.task()
+    def listener(ctx, index):
+        v = yield ctx.receive()
+        return len(v)
+
+    @prog.task()
+    def driver(ctx):
+        tids = yield ctx.initiate("listener", count=fanout)
+        t0 = ctx.now
+        yield ctx.broadcast(tids, value)
+        results = yield ctx.wait(tids)
+        return ctx.now - t0, len(results)
+
+    elapsed, count = prog.run("driver", cluster=0)
+    assert count == fanout
+    return elapsed, int(prog.metrics.get("comm.words"))
+
+
+def run_e11():
+    exp = Experiment("E11", "forall overhead vs task grain")
+    exp.set_headers("n tasks", "grain cycles", "measured", "ideal",
+                    "overhead factor")
+    overheads = []
+    for grain in (1_000, 10_000, 100_000):
+        measured, ideal = forall_run(16, grain)
+        factor = measured / ideal
+        overheads.append(factor)
+        exp.add_row(16, grain, measured, ideal, round(factor, 2))
+    exp.note("overhead = initiation, scheduling, and termination messages; "
+             "it amortizes with grain, the classic granularity tradeoff")
+
+    bexp = Experiment("E11-broadcast", "broadcast cost vs fan-out and size")
+    bexp.set_headers("fan-out", "payload words", "cycles after initiate",
+                     "total comm words")
+    bcast = {}
+    for fanout in (2, 8, 16):
+        for words in (8, 512):
+            elapsed, comm = broadcast_run(fanout, words)
+            bcast[(fanout, words)] = elapsed
+            bexp.add_row(fanout, words, elapsed, comm)
+    return (exp, bexp), (overheads, bcast)
+
+
+def test_e11_constructs(benchmark, experiment_sink):
+    (exp, bexp), (overheads, bcast) = run_once(benchmark, run_e11)
+    experiment_sink(exp, bexp)
+    # overhead factor falls monotonically with grain and approaches 1
+    assert overheads[0] > overheads[1] > overheads[2]
+    assert overheads[2] < 1.35
+    # broadcast cost grows with fan-out and with payload size
+    assert bcast[(16, 8)] > bcast[(2, 8)]
+    assert bcast[(8, 512)] > bcast[(8, 8)]

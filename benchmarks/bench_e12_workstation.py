@@ -1,0 +1,124 @@
+"""E12 — The interactive workstation, end to end.
+
+A structural engineer's whole session — model definition, grid
+generation, supports, loads, solve, stresses, database store — runs
+through the command language with the solve executed on the simulated
+FEM-2 machine.  A second table runs multiple users against the shared
+database, the paper's "multi-user access" requirement.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.appvm import (
+    CommandInterpreter,
+    MachineService,
+    ModelDatabase,
+    WorkstationSession,
+)
+from repro.bench import Experiment
+from repro.fem import static_solve
+from repro.hardware import MachineConfig
+
+
+SESSION_SCRIPT = """
+new panel
+material e=70e9 nu=0.3 thickness=0.01
+grid {n} {ny} 2.0 1.0
+fix x=0
+loadset tip
+lineload tip x=2.0 fy -1e4
+solve tip engine=fem2 workers=4
+store
+"""
+
+
+def run_session(n: int):
+    ci = CommandInterpreter()
+    ci.session.machine_config = MachineConfig(
+        n_clusters=4, pes_per_cluster=5, memory_words_per_cluster=32_000_000
+    )
+    script = SESSION_SCRIPT.format(n=n, ny=max(1, n // 2))
+    ci.run_script(script)
+    result_fem2 = ci.session.result("tip")
+    # oracle: the same model solved host-side
+    host = ci.session.solve("tip", engine="host")
+    err = np.abs(result_fem2.u - host.u).max() / (np.abs(host.u).max() or 1.0)
+    prog = ci.session.last_program
+    return {
+        "commands": ci.commands_run,
+        "cycles": result_fem2.elapsed_cycles,
+        "messages": int(prog.metrics.get("comm.messages")),
+        "dofs": ci.session.current.mesh.n_dofs,
+        "err": err,
+    }
+
+
+def run_multiuser():
+    db = ModelDatabase()
+    users = []
+    for name in ("alice", "bob", "carol"):
+        s = WorkstationSession(name, database=db)
+        s.define_structure(f"{name}_model")
+        s.set_material(e=70e9, nu=0.3, thickness=0.01)
+        s.generate_grid(6, 3, 2.0, 1.0)
+        s.fix_line(x=0.0)
+        s.define_load_set("case1")
+        s.add_line_load("case1", 1, -1e4 * (len(users) + 1), x=2.0)
+        s.store_model()
+        users.append(s)
+    # everyone can see and retrieve everyone's work
+    visible = db.keys()
+    other = WorkstationSession("dave", database=db)
+    got = other.retrieve_model("alice_model")
+    # all three problems run concurrently on ONE shared machine
+    service = MachineService(
+        MachineConfig(n_clusters=4, pes_per_cluster=5,
+                      memory_words_per_cluster=32_000_000)
+    )
+    for s in users:
+        service.submit(s.user, s.current, "case1")
+    results = service.run_batch()
+    for s in users:
+        model = s.current
+        ref = static_solve(model.mesh, model.material, model.constraints,
+                           model.load_sets["case1"])
+        assert np.allclose(results[s.user].u, ref.u,
+                           atol=1e-6 * abs(ref.u).max())
+    report = service.machine_report()
+    return len(users), visible, got.mesh.n_dofs, report
+
+
+def run_e12():
+    exp = Experiment("E12", "interactive sessions on the FEM-2 workstation")
+    exp.set_headers("grid", "dofs", "commands", "machine cycles",
+                    "messages", "err vs host")
+    session_rows = []
+    for n in (6, 10):
+        r = run_session(n)
+        session_rows.append(r)
+        exp.add_row(f"{n}x{n // 2}", r["dofs"], r["commands"], r["cycles"],
+                    r["messages"], f"{r['err']:.1e}")
+    n_users, visible, dofs, report = run_multiuser()
+    exp.note(f"multi-user: {n_users} engineers shared one database "
+             f"({len(visible)} entries); a fourth user retrieved a stored "
+             f"model ({dofs} dofs)")
+    exp.note(f"all {n_users} solves ran concurrently on ONE machine: "
+             f"{report['elapsed_cycles']:,.0f} cycles, "
+             f"{report['tasks']:.0f} tasks, "
+             f"{report['messages']:,.0f} messages, every result verified "
+             f"against the host oracle")
+    return exp, (session_rows, visible)
+
+
+def test_e12_workstation(benchmark, experiment_sink):
+    exp, (session_rows, visible) = run_once(benchmark, run_e12)
+    experiment_sink(exp)
+    for r in session_rows:
+        assert r["err"] < 1e-5              # fem2 solve matches the host
+        assert r["commands"] == 8
+        assert r["cycles"] > 0 and r["messages"] > 0
+    # the larger model costs more machine time
+    assert session_rows[1]["cycles"] > session_rows[0]["cycles"]
+    assert len(visible) == 3  # the three stored models

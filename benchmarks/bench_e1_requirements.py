@@ -1,0 +1,78 @@
+"""E1 — Processing, storage, and communication requirements of a typical
+large-scale application (the paper's status section / ref [8]).
+
+For a plane-stress cantilever swept over problem size and cluster
+count, the table reports the three quantities the FEM-2 design process
+was to measure, side by side with the analytic estimates of
+``repro.analysis``.  Flop estimates must agree exactly; traffic within
+small factors; and the distributed solution must match the host oracle.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.analysis import Measured, compare, estimate_cg_elapsed, estimate_distributed_cg
+from repro.bench import Experiment, plane_stress_cantilever
+from repro.fem import parallel_cg_solve, partition_strips, static_solve
+from repro.hardware import MachineConfig
+from repro.langvm import Fem2Program
+
+
+def run_e1():
+    exp = Experiment("E1", "requirements of a typical application (measured vs estimated)")
+    exp.set_headers(
+        "grid", "dofs", "clusters", "iters",
+        "Mflops", "flops est/meas",
+        "messages", "msg est/meas",
+        "Mwords comm", "hwm Mwords",
+        "cycles", "cycles est/meas",
+    )
+    checks = []
+    for n in (8, 16):
+        problem = plane_stress_cantilever(n)
+        ref = static_solve(problem.mesh, problem.material, problem.constraints,
+                           problem.loads)
+        for clusters in (1, 2, 4):
+            cfg = MachineConfig(
+                n_clusters=clusters, pes_per_cluster=5,
+                memory_words_per_cluster=32_000_000,
+                topology="complete",
+            )
+            prog = Fem2Program(cfg)
+            workers = max(2, 2 * clusters)
+            subs = partition_strips(problem.mesh, workers)
+            info = parallel_cg_solve(
+                prog, problem.mesh, problem.material, problem.constraints,
+                problem.loads, subs=subs, tol=1e-8,
+            )
+            err = np.abs(info.u - ref.u).max() / np.abs(ref.u).max()
+            measured = Measured.from_metrics(prog.metrics)
+            est = estimate_distributed_cg(problem.mesh, subs, cfg, info.iterations)
+            time_est = estimate_cg_elapsed(problem.mesh, subs, cfg, info.iterations)
+            time_ratio = time_est["total"] / info.elapsed_cycles
+            report = compare(est, measured)
+            exp.add_row(
+                f"{n}x{n // 2}", problem.mesh.n_dofs, clusters, info.iterations,
+                measured.flops / 1e6, report.row("flops").ratio,
+                measured.messages, report.row("messages").ratio,
+                measured.message_words / 1e6,
+                measured.storage_hwm_words / 1e6,
+                info.elapsed_cycles, round(time_ratio, 3),
+            )
+            checks.append((err, report, time_ratio))
+    exp.note("flops est/meas must be 1.000 (the estimator mirrors the charging rules)")
+    exp.note("cycles est/meas uses the critical-path time model (no queueing)")
+    exp.note("distributed solution checked against the host oracle on every row")
+    return exp, checks
+
+
+def test_e1_requirements(benchmark, experiment_sink):
+    exp, checks = run_once(benchmark, run_e1)
+    experiment_sink(exp)
+    for err, report, time_ratio in checks:
+        assert err < 1e-5
+        assert report.row("flops").ratio == pytest.approx(1.0)
+        assert report.within("messages", 1.5)
+        assert report.within("message_words", 2.0)
+        assert 0.85 < time_ratio < 1.15

@@ -1,0 +1,115 @@
+"""E8 — The general heap with variable-size blocks.
+
+"Storage management: general heap with variable size blocks" under the
+hardware requirement "large storage requirements; dynamic allocation".
+A synthetic trace modelled on the run-time system's real mix — many
+short-lived activation records, fewer long-lived array blocks —
+compares first-fit and best-fit on fragmentation, search cost, and the
+capacity pressure each can sustain.
+
+Expected shape: best-fit scans more but fragments less; both satisfy
+the invariant checker throughout; under tight capacity, fragmentation
+(not raw usage) causes the first failures.
+"""
+
+import random
+
+import pytest
+
+from conftest import run_once
+from repro.bench import Experiment
+from repro.errors import HeapError
+from repro.sysvm import BuddyHeap, Heap
+
+
+def fem_like_trace(seed: int, n_ops: int = 3000):
+    """(op, size) trace: 80% records (16..128 words, short-lived),
+    20% arrays (256..2048 words, long-lived)."""
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(n_ops):
+        if rng.random() < 0.8:
+            ops.append(("record", rng.randint(16, 128), rng.randint(2, 12)))
+        else:
+            ops.append(("array", rng.randint(256, 2048), rng.randint(30, 200)))
+    return ops
+
+
+def _next_pow2(x: int) -> int:
+    return 1 << (x - 1).bit_length()
+
+
+def replay(policy: str, capacity: int, seed: int = 11):
+    if policy == "buddy":
+        heap = BuddyHeap(_next_pow2(capacity), min_block=16)
+    else:
+        heap = Heap(capacity, policy=policy)
+    live = []  # (addr, free_after_step)
+    failures = 0
+    peak_frag = 0.0
+    for step, (kind, size, lifetime) in enumerate(fem_like_trace(seed)):
+        # free expired blocks first
+        keep = []
+        for addr, expiry in live:
+            if expiry <= step:
+                heap.free(addr)
+            else:
+                keep.append((addr, expiry))
+        live = keep
+        try:
+            addr = heap.alloc(size)
+            live.append((addr, step + lifetime))
+        except HeapError:
+            failures += 1
+        peak_frag = max(peak_frag, heap.external_fragmentation())
+        if step % 500 == 0:
+            heap.check_invariants()
+    heap.check_invariants()
+    s = heap.stats()
+    return {
+        "failures": failures,
+        "peak_frag": peak_frag,
+        "scan_per_alloc": s.get("scan_steps", 0) / max(1, s["allocs"]),
+        "final_blocks": s.get("blocks", s.get("splits", 0)),
+        "utilization": s["used"] / capacity,
+        "internal_frag": s.get("internal_fragmentation", 0.0),
+    }
+
+
+def run_e8():
+    exp = Experiment("E8", "heap policies under a FEM-like allocation trace")
+    exp.set_headers("capacity", "policy", "failed allocs", "peak ext frag",
+                    "internal frag", "scans/alloc")
+    results = {}
+    for capacity in (120_000, 60_000, 30_000):
+        for policy in ("first_fit", "best_fit", "buddy"):
+            r = replay(policy, capacity)
+            results[(capacity, policy)] = r
+            exp.add_row(capacity, policy, r["failures"],
+                        round(r["peak_frag"], 3),
+                        round(r["internal_frag"], 3),
+                        round(r["scan_per_alloc"], 1))
+    exp.note("trace: 80% activation records (16-128 words, short-lived), "
+             "20% arrays (256-2048 words, long-lived)")
+    exp.note("buddy rounds capacity up to a power of two and trades external "
+             "for internal fragmentation with O(log n) operations (no scans)")
+    return exp, results
+
+
+def test_e8_heap(benchmark, experiment_sink):
+    exp, results = run_once(benchmark, run_e8)
+    experiment_sink(exp)
+    # ample capacity: no failures either way
+    assert results[(120_000, "first_fit")]["failures"] == 0
+    assert results[(120_000, "best_fit")]["failures"] == 0
+    # pressure exposes fragmentation failures
+    assert results[(30_000, "first_fit")]["failures"] > 0
+    # best-fit pays more search than first-fit
+    assert (results[(60_000, "best_fit")]["scan_per_alloc"]
+            >= results[(60_000, "first_fit")]["scan_per_alloc"])
+    # fragmentation is a real phenomenon on this trace
+    assert results[(30_000, "first_fit")]["peak_frag"] > 0.2
+    # buddy: zero scanning, but real internal fragmentation
+    assert results[(120_000, "buddy")]["scan_per_alloc"] == 0
+    assert results[(120_000, "buddy")]["internal_frag"] > 0.05
+    assert results[(120_000, "buddy")]["failures"] == 0

@@ -1,0 +1,114 @@
+"""E9 — Fast linear algebra: the solver study.
+
+The hardware must support "fast linear algebra operations (to extract
+the low-level parallelism available in these operations)".  Two tables:
+
+* host-side solver comparison on the benchmark stiffness systems —
+  direct (LU, Cholesky) vs iterative (CG, Jacobi-PCG, Jacobi, SOR):
+  iterations, flops, residuals;
+* the distributed CG on the simulated machine across worker counts:
+  cycles, utilization, and the communication share.
+
+Expected shape: direct methods win at these sizes in flops but the
+iterative family parallelizes; preconditioning cuts CG iterations; the
+machine-level solve keeps speeding up with workers.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.bench import Experiment, plane_stress_cantilever
+from repro.fem import (
+    SOLVERS,
+    assemble_stiffness,
+    parallel_cg_solve,
+    partition_strips,
+    static_solve,
+)
+from repro.hardware import MachineConfig
+from repro.langvm import Fem2Program
+
+
+def host_table():
+    exp = Experiment("E9-host", "host solver comparison (free system)")
+    exp.set_headers("grid", "n", "solver", "converged", "iterations",
+                    "Mflops", "rel residual")
+    iters = {}
+    for n_cells in (8, 16):
+        problem = plane_stress_cantilever(n_cells)
+        k = assemble_stiffness(problem.mesh, problem.material)
+        f = problem.loads.vector(problem.mesh)
+        k_ff, f_f = problem.constraints.reduce(k, f)
+        scale = abs(k_ff).max()
+        k_s, f_s = k_ff / scale, f_f / scale
+        fnorm = np.linalg.norm(f_s)
+        for name in ("sparse_lu", "cholesky", "cg", "pcg_jacobi", "sor", "jacobi"):
+            kw = {}
+            if name in ("cg", "pcg_jacobi"):
+                kw = {"tol": 1e-9, "max_iter": 20_000}
+            elif name in ("jacobi", "sor"):
+                kw = {"tol": 1e-9, "max_iter": 20_000}
+            try:
+                r = SOLVERS[name](k_s, f_s, **kw)
+            except Exception:
+                exp.add_row(problem.name, k_ff.shape[0], name, False, "-", "-", "-")
+                continue
+            iters[(n_cells, name)] = (r.converged, r.iterations, r.flops)
+            exp.add_row(
+                problem.name, k_ff.shape[0], name, r.converged, r.iterations,
+                r.flops / 1e6, r.residual_norm / fnorm,
+            )
+    return exp, iters
+
+
+def machine_table():
+    exp = Experiment("E9-machine", "distributed CG on the simulated FEM-2")
+    exp.set_headers("workers", "clusters", "iterations", "cycles",
+                    "speedup", "worker util", "comm words")
+    problem = plane_stress_cantilever(12)
+    ref = static_solve(problem.mesh, problem.material, problem.constraints,
+                       problem.loads)
+    cycles = []
+    for workers, clusters in ((1, 1), (2, 2), (4, 4), (8, 4)):
+        cfg = MachineConfig(n_clusters=clusters, pes_per_cluster=5,
+                            memory_words_per_cluster=32_000_000)
+        prog = Fem2Program(cfg)
+        subs = partition_strips(problem.mesh, workers)
+        info = parallel_cg_solve(prog, problem.mesh, problem.material,
+                                 problem.constraints, problem.loads,
+                                 subs=subs, tol=1e-8)
+        assert np.allclose(info.u, ref.u, atol=1e-5 * np.abs(ref.u).max())
+        cycles.append(info.elapsed_cycles)
+        exp.add_row(workers, clusters, info.iterations, info.elapsed_cycles,
+                    cycles[0] / info.elapsed_cycles,
+                    round(prog.machine.utilization(), 3),
+                    int(prog.metrics.get("comm.words")))
+    return exp, cycles
+
+
+def run_e9():
+    host, iters = host_table()
+    machine, cycles = machine_table()
+    return (host, machine), (iters, cycles)
+
+
+def test_e9_solvers(benchmark, experiment_sink):
+    (host, machine), (iters, cycles) = run_once(benchmark, run_e9)
+    experiment_sink(host, machine)
+    for n_cells in (8, 16):
+        conv_cg, it_cg, fl_cg = iters[(n_cells, "cg")]
+        conv_pcg, it_pcg, _ = iters[(n_cells, "pcg_jacobi")]
+        assert conv_cg and conv_pcg
+        # Jacobi preconditioning never increases CG iterations here
+        assert it_pcg <= it_cg
+        # direct methods are exact
+        assert iters[(n_cells, "cholesky")][0]
+        assert iters[(n_cells, "sparse_lu")][0]
+        # stationary methods need far more iterations than Krylov when
+        # they converge at all
+        conv_j, it_j, _ = iters[(n_cells, "jacobi")]
+        if conv_j:
+            assert it_j > it_cg
+    # the machine solve keeps winning with more workers
+    assert cycles[2] < cycles[1] < cycles[0]

@@ -1,0 +1,31 @@
+"""Shared benchmark infrastructure.
+
+Every experiment prints its table and also writes it to
+``benchmarks/results/<exp_id>.txt`` so EXPERIMENTS.md can quote stable
+artifacts regardless of pytest capture settings.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def experiment_sink():
+    """Returns a function that renders, prints, and persists experiments."""
+    RESULTS.mkdir(exist_ok=True)
+
+    def sink(*experiments):
+        for exp in experiments:
+            text = exp.render()
+            print("\n" + text)
+            (RESULTS / f"{exp.exp_id.lower()}.txt").write_text(text + "\n")
+
+    return sink
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

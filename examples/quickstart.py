@@ -1,0 +1,70 @@
+"""Quickstart: a structural engineer's session at the FEM-2 workstation.
+
+The application user's virtual machine in action — exactly the paper's
+scenario: "a structural engineer using the system as an interactive
+workstation that allows one to store the description of a structural
+model, to invoke applications packages to analyze the model, and to
+display the results."
+
+The same model is solved twice: host-side (instantly, the oracle) and
+on the simulated FEM-2 machine (engine=fem2), which reports the cycle
+count the machine would have taken.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CommandInterpreter
+
+SESSION = """
+# --- define the model: a cantilevered plate -------------------------------
+new plate
+material e=70e9 nu=0.3 thickness=0.01
+grid 8 4 2.0 1.0
+fix x=0
+
+# --- a load set: shear along the free edge --------------------------------
+loadset tip
+lineload tip x=2.0 fy -1e4
+
+# --- solve on the host (reference), then on the simulated FEM-2 -----------
+solve tip
+solve tip engine=fem2 workers=4
+
+# --- long-term storage -----------------------------------------------------
+store
+"""
+
+
+def main() -> None:
+    ci = CommandInterpreter()
+    for line in SESSION.strip().splitlines():
+        line = line.strip()
+        out = ci.execute(line)
+        if line and not line.startswith("#"):
+            print(f"fem2> {line}")
+        if out:
+            print(f"      {out}")
+
+    print()
+    print(ci.execute("show model"))
+    print()
+    print(ci.execute("show displacements tip"))
+    print()
+    print(ci.execute("show stresses tip"))
+
+    # what the simulated machine did, in the paper's three categories
+    program = ci.session.last_program
+    m = program.metrics
+    print("\nmachine activity of the fem2 solve:")
+    print(f"  processing   : {m.get('proc.flops'):,.0f} flops, "
+          f"{m.get('proc.cycles'):,.0f} PE cycles")
+    print(f"  communication: {m.get('comm.messages'):,.0f} messages, "
+          f"{m.get('comm.words'):,.0f} words")
+    print(f"  storage      : {sum(m.by_prefix('mem.hwm').values()):,.0f} "
+          f"words high-water across clusters")
+    print(f"  elapsed      : {program.now:,} cycles on "
+          f"{program.machine.describe()}")
+
+
+if __name__ == "__main__":
+    main()

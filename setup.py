@@ -1,0 +1,10 @@
+"""Legacy shim so editable installs work offline (no `wheel` available).
+
+`pip install -e .` needs the `wheel` package (PEP 660); on air-gapped
+machines without it, run `python setup.py develop` instead.  All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Requirement analysis (Adams & Voigt, ref [8]): analytic estimates of
+processing, storage, and communication for FEM scenarios on FEM-2
+configurations, validated against simulator measurements."""
+
+from .complexity import (
+    PhaseEstimate,
+    ScenarioEstimate,
+    estimate_distributed_cg,
+    estimate_substructure,
+    payload_words,
+    subdomain_assembly_flops,
+)
+from .validate import ComparisonReport, ComparisonRow, Measured, compare
+from .timing import estimate_cg_elapsed, rank_configurations
+from .exercise import EXERCISE_CHECKS, ExerciseReport, exercise_report
+from .patterns import (
+    TimelineBin,
+    burstiness,
+    communication_matrix,
+    hub_score,
+    kind_timeline,
+    pattern_report,
+    task_spans,
+    concurrency_profile,
+    traffic_timeline,
+)
+
+__all__ = [
+    "PhaseEstimate",
+    "ScenarioEstimate",
+    "estimate_distributed_cg",
+    "estimate_substructure",
+    "payload_words",
+    "subdomain_assembly_flops",
+    "ComparisonReport",
+    "ComparisonRow",
+    "Measured",
+    "compare",
+    "estimate_cg_elapsed",
+    "rank_configurations",
+    "EXERCISE_CHECKS",
+    "ExerciseReport",
+    "exercise_report",
+    "TimelineBin",
+    "burstiness",
+    "communication_matrix",
+    "hub_score",
+    "kind_timeline",
+    "pattern_report",
+    "task_spans",
+    "concurrency_profile",
+    "traffic_timeline",
+]

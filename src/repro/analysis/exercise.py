@@ -1,0 +1,110 @@
+"""Dynamic coverage of the design: which specified constructs a run used.
+
+The paper's simulations were also "to determine the ease of programming
+the machine at the various levels" — which presupposes knowing whether
+a workload even *touches* each specified construct.  Given the FEM-2
+layer stack and a run's metrics, this module reports per spec item
+whether the run exercised it, giving the design team a usage profile of
+their own language.
+
+Only items with an observable runtime signal are checkable; purely
+structural items (e.g. data-object *types*) are reported as
+"static-only".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..hardware.metrics import MetricsRegistry
+
+#: spec item name -> predicate over metrics ("did a run use this?")
+EXERCISE_CHECKS: Dict[str, Callable[[MetricsRegistry], bool]] = {
+    # numerical analyst's VM
+    "windows": lambda m: m.total("win") > 0,
+    "tasks": lambda m: m.get("task.initiated") > 1,
+    "window_operations": lambda m: m.total("win") > 0,
+    "broadcast": lambda m: m.get("comm.broadcasts") > 0,
+    "linalg_operations": lambda m: m.get("proc.flops") > 0,
+    "forall": lambda m: m.get("comm.messages.initiate_task") > 0,
+    "pardo": lambda m: m.get("comm.messages.initiate_task") > 0,
+    "task_control": lambda m: m.get("task.pauses") > 0
+    or m.get("comm.messages.terminate_notify") > 0,
+    "remote_procedure_call": lambda m: m.get("comm.messages.remote_call") > 0,
+    "single_task_ownership": lambda m: m.get("mem.reserved.arrays", 0) > 0,
+    "window_access": lambda m: m.get("win.remote_reads")
+    + m.get("win.remote_writes") > 0,
+    "window_communication": lambda m: m.get("win.remote_writes") > 0
+    or m.get("win.remote_reads") > 0,
+    "dynamic_data_creation": lambda m: m.get("mem.reserved.arrays", 0) > 0,
+    "data_lifetime": lambda m: m.get("task.completed") > 0,
+    "task_replication": lambda m: m.get("task.initiated") > 2,
+    "pause_retention": lambda m: m.get("task.pauses") > 0,
+    # system programmer's VM
+    "messages": lambda m: m.get("comm.messages") > 0,
+    "format_send_message": lambda m: m.get("comm.messages") > 0,
+    "decode_execute_message": lambda m: m.get("comm.messages") > 0,
+    "sequential_operations": lambda m: m.get("proc.cycles") > 0,
+    "linalg_library": lambda m: m.get("proc.flops") > 0,
+    "sequential_control": lambda m: m.get("proc.bursts") > 0,
+    "ready_queue_scheduling": lambda m: m.get("task.initiated") > 0,
+    "general_heap": lambda m: m.get("mem.reserved.heap", 0) > 0,
+    "activation_records": lambda m: m.get("task.initiated") > 0,
+    "code_blocks": lambda m: m.get("mem.reserved.code", 0) > 0,
+    # hardware
+    "pe_execution": lambda m: m.get("proc.cycles") > 0,
+    "message_delivery": lambda m: m.get("comm.network_transfers") > 0,
+    "kernel_dispatch": lambda m: m.get("proc.bursts") > 0,
+    "cluster_memory": lambda m: m.total("mem.reserved") > 0,
+    "input_queues": lambda m: m.get("comm.messages") > 0,
+    "event_clock": lambda m: True,  # every run rides the clock
+    "shared_cluster_memory": lambda m: m.total("mem.reserved") > 0,
+    "memory_capacity": lambda m: m.total("mem.reserved") > 0,
+    "reconfiguration": lambda m: m.get("fault.pe_failures") > 0
+    or m.get("fault.cluster_failures") > 0,
+}
+
+
+@dataclass
+class ExerciseReport:
+    exercised: List[str] = field(default_factory=list)
+    unexercised: List[str] = field(default_factory=list)
+    static_only: List[str] = field(default_factory=list)
+
+    def coverage(self) -> float:
+        checkable = len(self.exercised) + len(self.unexercised)
+        return len(self.exercised) / checkable if checkable else 1.0
+
+    def render(self) -> str:
+        lines = [
+            f"design exercise: {len(self.exercised)} of "
+            f"{len(self.exercised) + len(self.unexercised)} checkable spec "
+            f"items exercised ({self.coverage():.0%}); "
+            f"{len(self.static_only)} static-only items",
+        ]
+        for name in self.unexercised:
+            lines.append(f"  NOT EXERCISED: {name}")
+        return "\n".join(lines)
+
+
+def exercise_report(stack, metrics: MetricsRegistry,
+                    levels: Optional[List[int]] = None) -> ExerciseReport:
+    """Check a run's metrics against a layer stack's spec items.
+
+    *stack* is a :class:`repro.core.layers.LayerStack`; *levels*
+    restricts the check (default: all layers).
+    """
+    report = ExerciseReport()
+    for spec in stack.layers_top_down():
+        if levels is not None and spec.level not in levels:
+            continue
+        for item in spec.items():
+            check = EXERCISE_CHECKS.get(item.name)
+            if check is None:
+                report.static_only.append(item.name)
+            elif check(metrics):
+                report.exercised.append(item.name)
+            else:
+                report.unexercised.append(item.name)
+    return report

@@ -1,0 +1,135 @@
+"""Communication *patterns* from event traces.
+
+The paper asks for measurements of "the storage, processing, and
+communication **patterns**" — not just totals.  Given a
+:class:`~repro.hardware.trace.TraceRecorder` that observed a run's
+``send`` events, this module computes the pattern views: traffic over
+time, burstiness, the cluster-to-cluster communication matrix, and the
+per-kind timeline (which distinguishes a setup burst from steady-state
+iteration traffic).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..hardware.trace import TraceRecorder
+
+
+@dataclass
+class TimelineBin:
+    t0: int
+    t1: int
+    messages: int
+    words: int
+
+
+def traffic_timeline(trace: TraceRecorder, bins: int = 20) -> List[TimelineBin]:
+    """Messages and words per time bin across the traced run."""
+    events = trace.events("send")
+    if not events:
+        raise AnalysisError("trace holds no send events (was it attached?)")
+    if bins < 1:
+        raise AnalysisError("need at least one bin")
+    t_max = max(e.time for e in events) + 1
+    edges = np.linspace(0, t_max, bins + 1)
+    out = [TimelineBin(int(edges[i]), int(edges[i + 1]), 0, 0) for i in range(bins)]
+    for e in events:
+        idx = min(int(e.time / t_max * bins), bins - 1)
+        out[idx].messages += 1
+        out[idx].words += int(e.get("words", 0))
+    return out
+
+
+def burstiness(trace: TraceRecorder, bins: int = 20) -> float:
+    """Peak-to-mean ratio of per-bin message counts (1.0 = uniform)."""
+    timeline = traffic_timeline(trace, bins)
+    counts = [b.messages for b in timeline]
+    mean = sum(counts) / len(counts)
+    return max(counts) / mean if mean else 0.0
+
+
+def communication_matrix(trace: TraceRecorder, n_clusters: int) -> np.ndarray:
+    """Words sent from cluster i to cluster j: (n, n)."""
+    m = np.zeros((n_clusters, n_clusters), dtype=int)
+    for e in trace.events("send"):
+        src, dst = e.get("src"), e.get("dst")
+        if src is None or dst is None:
+            continue
+        m[src, dst] += int(e.get("words", 0))
+    return m
+
+
+def hub_score(matrix: np.ndarray) -> float:
+    """Fraction of all traffic touching the busiest cluster — 1.0 means
+    a pure hub-and-spoke pattern (what A2 found for the CG driver)."""
+    total = matrix.sum()
+    if total == 0:
+        return 0.0
+    touching = matrix.sum(axis=0) + matrix.sum(axis=1) - np.diag(matrix)
+    return float(touching.max() / total)
+
+
+def kind_timeline(trace: TraceRecorder, bins: int = 10) -> Dict[str, List[int]]:
+    """Per message kind: messages per bin (phase structure made visible)."""
+    events = trace.events("send")
+    if not events:
+        raise AnalysisError("trace holds no send events")
+    t_max = max(e.time for e in events) + 1
+    out: Dict[str, List[int]] = defaultdict(lambda: [0] * bins)
+    for e in events:
+        idx = min(int(e.time / t_max * bins), bins - 1)
+        out[e.get("msg_kind", "?")][idx] += 1
+    return dict(out)
+
+
+def pattern_report(trace: TraceRecorder, n_clusters: int) -> str:
+    m = communication_matrix(trace, n_clusters)
+    lines = [
+        f"communication pattern over {len(trace.events('send'))} messages:",
+        f"  burstiness (peak/mean per bin): {burstiness(trace):.2f}",
+        f"  hub score: {hub_score(m):.2f}",
+        "  cluster-to-cluster words:",
+    ]
+    for i in range(n_clusters):
+        row = " ".join(f"{m[i, j]:>8}" for j in range(n_clusters))
+        lines.append(f"    c{i}: {row}")
+    return "\n".join(lines)
+
+
+def task_spans(trace: TraceRecorder) -> List[Tuple[int, str, int, int]]:
+    """(tid, task_type, first_dispatch, finish) per completed task — the
+    Gantt view of a run.  Tasks re-dispatched after blocking keep their
+    first dispatch time."""
+    first: Dict[int, Tuple[str, int]] = {}
+    for e in trace.events("dispatch"):
+        tid = e.get("tid")
+        if tid not in first:
+            first[tid] = (e.get("task_type", "?"), e.time)
+    spans = []
+    for e in trace.events("finish"):
+        tid = e.get("tid")
+        if tid in first:
+            task_type, t0 = first[tid]
+            spans.append((tid, task_type, t0, e.time))
+    return sorted(spans, key=lambda s: s[2])
+
+
+def concurrency_profile(trace: TraceRecorder, bins: int = 20) -> List[int]:
+    """Tasks simultaneously in flight per time bin (span-based)."""
+    spans = task_spans(trace)
+    if not spans:
+        raise AnalysisError("trace holds no completed task spans")
+    t_max = max(t1 for *_x, t1 in spans) + 1
+    counts = [0] * bins
+    for _tid, _tt, t0, t1 in spans:
+        b0 = min(int(t0 / t_max * bins), bins - 1)
+        b1 = min(int(t1 / t_max * bins), bins - 1)
+        for b in range(b0, b1 + 1):
+            counts[b] += 1
+    return counts

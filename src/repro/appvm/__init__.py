@@ -1,0 +1,30 @@
+"""Layer 1 of the FEM-2 design: the application user's virtual machine.
+
+The structural engineer's interactive workstation: structure models and
+results as data objects, a shared model database, per-user workspaces,
+and a directly-interpreted command language.
+"""
+
+from .model import AnalysisResult, StructureModel
+from .database import DBEntry, ModelDatabase
+from .workspace import Workspace
+from .display import render_displacements, render_model, render_stresses, render_table
+from .session import WorkstationSession
+from .commands import CommandInterpreter
+from .service import MachineService, SolveJob
+
+__all__ = [
+    "AnalysisResult",
+    "StructureModel",
+    "DBEntry",
+    "ModelDatabase",
+    "Workspace",
+    "render_displacements",
+    "render_model",
+    "render_stresses",
+    "render_table",
+    "WorkstationSession",
+    "CommandInterpreter",
+    "MachineService",
+    "SolveJob",
+]

@@ -1,0 +1,118 @@
+"""The model database: long-term, shared storage.
+
+"Data control: Workspace (user local data); Data base (long-term
+storage; shared data)" and "Data base operations (store model in
+DB/retrieve)".
+
+The database stores plain dicts (models and results serialize
+themselves), is shared between sessions (multi-user access is one of
+the architecture requirements), versions every key, and detects
+write-write conflicts through optimistic version checks.  JSON
+persistence covers the "long-term" half.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import DatabaseError
+
+
+@dataclass
+class DBEntry:
+    value: Dict[str, Any]
+    version: int
+    kind: str  # "model" | "result" | "data"
+
+
+class ModelDatabase:
+    """A versioned key-value store of serialized engineering objects."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, DBEntry] = {}
+        self.store_count = 0
+        self.retrieve_count = 0
+
+    def store(
+        self,
+        key: str,
+        value: Dict[str, Any],
+        kind: str = "data",
+        expect_version: Optional[int] = None,
+    ) -> int:
+        """Store a dict under *key*; returns the new version.
+
+        ``expect_version`` enables optimistic concurrency: the write is
+        rejected if someone else updated the key since it was read.
+        """
+        if not isinstance(value, dict):
+            raise DatabaseError(f"database stores dicts, got {type(value).__name__}")
+        current = self._entries.get(key)
+        if expect_version is not None:
+            have = current.version if current else 0
+            if have != expect_version:
+                raise DatabaseError(
+                    f"version conflict on {key!r}: expected {expect_version}, "
+                    f"database has {have}"
+                )
+        version = (current.version if current else 0) + 1
+        self._entries[key] = DBEntry(json.loads(json.dumps(value)), version, kind)
+        self.store_count += 1
+        return version
+
+    def retrieve(self, key: str) -> Dict[str, Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise DatabaseError(f"no database entry {key!r}")
+        self.retrieve_count += 1
+        return json.loads(json.dumps(entry.value))
+
+    def version(self, key: str) -> int:
+        entry = self._entries.get(key)
+        return entry.version if entry else 0
+
+    def kind(self, key: str) -> str:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise DatabaseError(f"no database entry {key!r}")
+        return entry.kind
+
+    def delete(self, key: str) -> None:
+        if key not in self._entries:
+            raise DatabaseError(f"no database entry {key!r}")
+        del self._entries[key]
+
+    def keys(self, kind: Optional[str] = None) -> List[str]:
+        if kind is None:
+            return sorted(self._entries)
+        return sorted(k for k, e in self._entries.items() if e.kind == kind)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        data = {
+            k: {"value": e.value, "version": e.version, "kind": e.kind}
+            for k, e in self._entries.items()
+        }
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+
+    @classmethod
+    def load(cls, path: str) -> "ModelDatabase":
+        db = cls()
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DatabaseError(f"cannot load database from {path}: {exc}") from exc
+        for k, spec in data.items():
+            db._entries[k] = DBEntry(spec["value"], spec["version"], spec["kind"])
+        return db

@@ -1,0 +1,92 @@
+"""The shared analysis service: one FEM-2 machine, many users.
+
+"Provide multi-user access" — this module is the machine-side half of
+that requirement.  Sessions submit solve jobs; the service runs every
+pending job *concurrently* as independent root tasks on one machine
+(the outermost level of parallelism), then hands each user their
+result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AppVMError
+from ..fem import (
+    collect_parallel_cg,
+    recover_stresses,
+    start_parallel_cg,
+)
+from ..hardware.machine import MachineConfig
+from ..langvm import Fem2Program
+from .model import AnalysisResult, StructureModel
+
+
+@dataclass
+class SolveJob:
+    user: str
+    model: StructureModel
+    load_set: str
+    workers: int
+    tid: Optional[int] = None
+
+
+class MachineService:
+    """Batches user solve requests onto one simulated FEM-2 machine."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or MachineConfig(memory_words_per_cluster=16_000_000)
+        self.program = Fem2Program(self.config)
+        self._pending: List[SolveJob] = []
+        self.completed_batches = 0
+
+    def submit(self, user: str, model: StructureModel, load_set: str,
+               workers: int = 2, tol: float = 1e-9) -> SolveJob:
+        """Queue one user's solve; nothing runs until :meth:`run_batch`."""
+        mesh = model.require_mesh()
+        constraints = model.require_constraints()
+        loads = model.load_set(load_set)
+        job = SolveJob(user, model, load_set, workers)
+        job.tid = start_parallel_cg(
+            self.program, mesh, model.material, constraints, loads,
+            n_workers=workers, tol=tol,
+        )
+        self._pending.append(job)
+        return job
+
+    def run_batch(self) -> Dict[str, AnalysisResult]:
+        """Run every submitted job concurrently; returns per-user results."""
+        if not self._pending:
+            raise AppVMError("no jobs submitted")
+        self.program.runtime.run()
+        out: Dict[str, AnalysisResult] = {}
+        for job in self._pending:
+            info = collect_parallel_cg(self.program, job.tid)
+            stresses = recover_stresses(job.model.require_mesh(),
+                                        job.model.material, info.u)
+            out[job.user] = AnalysisResult(
+                job.model.name, job.load_set, info.u, stresses,
+                f"fem2-service[{job.workers}]",
+                iterations=info.iterations,
+                elapsed_cycles=info.elapsed_cycles,
+            )
+        self._pending.clear()
+        self.completed_batches += 1
+        return out
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def machine_report(self) -> Dict[str, float]:
+        m = self.program.metrics
+        return {
+            "elapsed_cycles": self.program.now,
+            "messages": m.get("comm.messages"),
+            "flops": m.get("proc.flops"),
+            "tasks": m.get("task.initiated"),
+            "utilization": self.program.machine.utilization(),
+        }

@@ -1,0 +1,263 @@
+"""Workstation sessions: the application user's operations.
+
+"The FEM-2 user would typically be a structural engineer using the
+system as an interactive workstation that allows one to store the
+description of a structural model, to invoke applications packages to
+analyze the model, and to display the results."
+
+Operations (from the paper's list): define structure model, generate
+grid, define elements, solve model/load set for displacements,
+calculate stresses, data base store/retrieve.  ``solve`` runs either
+host-side (the oracle) or on the simulated FEM-2 machine
+(``engine="fem2"``), which is how a whole interactive session becomes a
+measurable machine workload (experiment E12).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+import numpy as np
+
+from ..errors import AppVMError
+
+from ..fem import (
+    Constraints,
+    LoadSet,
+    Material,
+    cantilever_frame,
+    mesh_quality,
+    natural_frequencies,
+    newmark_transient,
+    parallel_cg_solve,
+    portal_frame,
+    pratt_truss,
+    recover_stresses,
+    rect_grid,
+    static_solve,
+)
+from ..hardware.machine import MachineConfig
+from ..langvm import Fem2Program
+from .database import ModelDatabase
+from .display import render_displacements, render_model, render_stresses
+from .model import AnalysisResult, StructureModel
+from .workspace import Workspace
+
+
+class WorkstationSession:
+    """One user's interactive session against a (possibly shared) database."""
+
+    def __init__(
+        self,
+        user: str = "engineer",
+        database: Optional[ModelDatabase] = None,
+        machine_config: Optional[MachineConfig] = None,
+    ) -> None:
+        self.user = user
+        self.database = database if database is not None else ModelDatabase()
+        self.workspace = Workspace(owner=user)
+        self.machine_config = machine_config or MachineConfig(
+            memory_words_per_cluster=4_000_000
+        )
+        self.current: Optional[StructureModel] = None
+        self.last_program: Optional[Fem2Program] = None
+
+    # -- model building ("define structure model", "generate grid") ------------
+
+    def define_structure(self, name: str) -> StructureModel:
+        model = StructureModel(name)
+        self.workspace.put(f"model:{name}", model)
+        self.current = model
+        return model
+
+    def _model(self) -> StructureModel:
+        if self.current is None:
+            raise AppVMError("no current model; define one first")
+        return self.current
+
+    def select(self, name: str) -> StructureModel:
+        self.current = self.workspace.get(f"model:{name}")
+        return self.current
+
+    def set_material(self, **props: Any) -> Material:
+        model = self._model()
+        model.material = Material(**props)
+        return model.material
+
+    def generate_grid(self, nx: int, ny: int, lx: float = 1.0, ly: float = 1.0,
+                      kind: str = "quad4") -> None:
+        self._model().set_mesh(rect_grid(nx, ny, lx, ly, kind))
+
+    def generate_truss(self, n_panels: int, panel: float = 1.0,
+                       height: float = 1.0) -> None:
+        self._model().set_mesh(pratt_truss(n_panels, panel, height))
+
+    def generate_frame(self, kind: str, *args: Any, **kw: Any) -> None:
+        if kind == "cantilever":
+            self._model().set_mesh(cantilever_frame(*args, **kw))
+        elif kind == "portal":
+            self._model().set_mesh(portal_frame(*args, **kw))
+        else:
+            raise AppVMError(f"unknown frame kind {kind!r}")
+
+    # -- supports and loads -----------------------------------------------------
+
+    def fix_nodes(self, nodes: Iterable[int], comps: Optional[Iterable[int]] = None) -> None:
+        model = self._model()
+        model.require_mesh()
+        model.constraints.fix_nodes(nodes, comps)
+
+    def fix_line(self, x: Optional[float] = None, y: Optional[float] = None,
+                 comps: Optional[Iterable[int]] = None) -> int:
+        model = self._model()
+        nodes = model.require_mesh().nodes_on(x=x, y=y)
+        if not len(nodes):
+            raise AppVMError(f"no nodes on line x={x} y={y}")
+        model.constraints.fix_nodes(nodes, comps)
+        return len(nodes)
+
+    def define_load_set(self, name: str) -> LoadSet:
+        model = self._model()
+        model.require_mesh()
+        if name in model.load_sets:
+            raise AppVMError(f"load set {name!r} already defined")
+        ls = LoadSet(name)
+        model.load_sets[name] = ls
+        return ls
+
+    def add_load(self, load_set: str, node: int, comp: int, value: float) -> None:
+        self._model().load_set(load_set).add_nodal(node, comp, value)
+
+    def add_line_load(self, load_set: str, comp: int, value: float,
+                      x: Optional[float] = None, y: Optional[float] = None) -> int:
+        model = self._model()
+        nodes = model.require_mesh().nodes_on(x=x, y=y)
+        if not len(nodes):
+            raise AppVMError(f"no nodes on line x={x} y={y}")
+        model.load_set(load_set).add_nodal_many(nodes, comp, value)
+        return len(nodes)
+
+    # -- analysis ("solve", "calculate stresses") -----------------------------------
+
+    def solve(
+        self,
+        load_set: str,
+        method: str = "sparse_lu",
+        engine: str = "host",
+        workers: int = 4,
+        tol: float = 1e-10,
+    ) -> AnalysisResult:
+        model = self._model()
+        mesh = model.require_mesh()
+        constraints = model.require_constraints()
+        loads = model.load_set(load_set)
+        if engine == "host":
+            r = static_solve(mesh, model.material, constraints, loads,
+                             method=method, with_stresses=True)
+            result = AnalysisResult(
+                model.name, load_set, r.u, r.stresses, method,
+                iterations=r.solver.iterations,
+            )
+        elif engine == "fem2":
+            program = Fem2Program(self.machine_config)
+            info = parallel_cg_solve(
+                program, mesh, model.material, constraints, loads,
+                n_workers=workers, tol=tol,
+            )
+            stresses = recover_stresses(mesh, model.material, info.u)
+            result = AnalysisResult(
+                model.name, load_set, info.u, stresses, f"fem2-cg[{workers}]",
+                iterations=info.iterations, elapsed_cycles=info.elapsed_cycles,
+            )
+            self.last_program = program
+        else:
+            raise AppVMError(f"unknown engine {engine!r}; host or fem2")
+        self.workspace.put(f"result:{model.name}:{load_set}", result)
+        return result
+
+    def result(self, load_set: str, model_name: Optional[str] = None) -> AnalysisResult:
+        name = model_name or self._model().name
+        return self.workspace.get(f"result:{name}:{load_set}")
+
+    def modal(self, n_modes: int = 4, lumped: bool = True):
+        """Natural frequencies of the current model (host analysis)."""
+        model = self._model()
+        result = natural_frequencies(
+            model.require_mesh(), model.material, model.require_constraints(),
+            n_modes=n_modes, lumped=lumped,
+        )
+        self.workspace.put(f"modal:{model.name}", result)
+        return result
+
+    def check_quality(self) -> dict:
+        """Mesh quality summary of the current model's grid."""
+        return mesh_quality(self._model().require_mesh())
+
+    def transient(
+        self,
+        load_set: str,
+        dt: float,
+        n_steps: int,
+        excitation: str = "step",
+        frequency_hz: float = 0.0,
+    ):
+        """Time-history analysis: the load set applied as f(t).
+
+        ``excitation`` is ``"step"`` (constant from t=0) or ``"sine"``
+        (scaled by sin(2*pi*f*t) with *frequency_hz*).
+        """
+        model = self._model()
+        mesh = model.require_mesh()
+        constraints = model.require_constraints()
+        f0 = model.load_set(load_set).vector(mesh)
+        if excitation == "step":
+            force_fn = lambda t: f0
+        elif excitation == "sine":
+            if frequency_hz <= 0:
+                raise AppVMError("sine excitation needs frequency_hz > 0")
+            omega = 2.0 * np.pi * frequency_hz
+            force_fn = lambda t: f0 * np.sin(omega * t)
+        else:
+            raise AppVMError(f"unknown excitation {excitation!r}; step or sine")
+        result = newmark_transient(
+            mesh, model.material, constraints, force_fn, dt=dt, n_steps=n_steps
+        )
+        self.workspace.put(f"transient:{model.name}:{load_set}", result)
+        return result
+
+    def set_gravity(self, load_set: str, gx: float, gy: float) -> None:
+        """Add a uniform gravity field to a load set."""
+        self._model().load_set(load_set).set_gravity(gx, gy)
+
+    # -- database ("store model in DB/retrieve") ----------------------------------------
+
+    def store_model(self, key: Optional[str] = None) -> int:
+        model = self._model()
+        return self.database.store(key or model.name, model.to_dict(), kind="model")
+
+    def retrieve_model(self, key: str) -> StructureModel:
+        model = StructureModel.from_dict(self.database.retrieve(key))
+        self.workspace.put(f"model:{model.name}", model)
+        self.current = model
+        return model
+
+    def store_result(self, load_set: str, key: Optional[str] = None) -> int:
+        result = self.result(load_set)
+        return self.database.store(
+            key or f"{result.model_name}:{load_set}", result.to_dict(), kind="result"
+        )
+
+    # -- display -----------------------------------------------------------------------------
+
+    def show(self, what: str, load_set: Optional[str] = None) -> str:
+        model = self._model()
+        if what == "model":
+            return render_model(model)
+        if load_set is None:
+            raise AppVMError(f"show {what} needs a load set")
+        result = self.result(load_set)
+        if what == "displacements":
+            return render_displacements(model.require_mesh(), result)
+        if what == "stresses":
+            return render_stresses(result)
+        raise AppVMError(f"cannot show {what!r}")

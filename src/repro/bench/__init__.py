@@ -1,0 +1,22 @@
+"""Benchmark support: standard workloads and the experiment harness."""
+
+from .harness import Experiment, speedup_series
+from .workloads import (
+    BENCH_MATERIAL,
+    Problem,
+    default_config,
+    machine_sweep,
+    plane_stress_cantilever,
+    truss_bridge,
+)
+
+__all__ = [
+    "Experiment",
+    "speedup_series",
+    "BENCH_MATERIAL",
+    "Problem",
+    "default_config",
+    "machine_sweep",
+    "plane_stress_cantilever",
+    "truss_bridge",
+]

@@ -1,0 +1,61 @@
+"""Experiment harness: table printing and run records.
+
+Every benchmark prints its table through :class:`Experiment` so the
+output format is uniform and EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..appvm.display import render_table
+
+
+@dataclass
+class Experiment:
+    """One experiment: id, title, and a growing table of results."""
+
+    exp_id: str
+    title: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def set_headers(self, *headers: str) -> None:
+        self.headers = list(headers)
+
+    def add_row(self, *values: Any) -> None:
+        if self.headers and len(values) != len(self.headers):
+            raise ValueError(
+                f"{self.exp_id}: row has {len(values)} cells, "
+                f"table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        if self.rows:
+            lines.append(render_table(self.headers, self.rows))
+        for n in self.notes:
+            lines.append(f"  note: {n}")
+        return "\n".join(lines)
+
+    def show(self, file=None) -> None:
+        print(self.render(), file=file or sys.stdout)
+
+    def column(self, header: str) -> List[Any]:
+        idx = self.headers.index(header)
+        return [r[idx] for r in self.rows]
+
+
+def speedup_series(cycles: Sequence[int]) -> List[float]:
+    """Speedups relative to the first entry of a cycle series."""
+    if not cycles:
+        return []
+    base = cycles[0]
+    return [base / c if c else float("inf") for c in cycles]

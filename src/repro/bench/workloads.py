@@ -1,0 +1,69 @@
+"""Standard workloads for the experiment suite.
+
+One place defines the problems every benchmark sweeps over, so E1..E12
+measure the same models and the EXPERIMENTS.md numbers are
+reproducible run to run (everything here is deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..fem import Constraints, LoadSet, Material, Mesh, pratt_truss, rect_grid
+from ..hardware.machine import MachineConfig
+
+#: Material used by every benchmark problem.
+BENCH_MATERIAL = Material(e=70e9, nu=0.3, thickness=0.01, area=0.01, inertia=1e-5)
+
+
+@dataclass
+class Problem:
+    """A ready-to-solve structural problem."""
+
+    name: str
+    mesh: Mesh
+    constraints: Constraints
+    loads: LoadSet
+    material: Material = BENCH_MATERIAL
+
+
+def plane_stress_cantilever(n: int, aspect: float = 2.0) -> Problem:
+    """The canonical E1/E2/E9 workload: an n x (n//2) cantilevered plate
+    under tip shear.  ``n`` is the cell count along x."""
+    ny = max(1, n // 2)
+    mesh = rect_grid(n, ny, aspect, aspect / 2.0)
+    constraints = Constraints(mesh).fix_nodes(mesh.nodes_on(x=0.0))
+    loads = LoadSet("tip").add_nodal_many(mesh.nodes_on(x=aspect), 1, -1e4)
+    return Problem(f"cantilever{n}x{ny}", mesh, constraints, loads)
+
+
+def truss_bridge(panels: int = 8) -> Problem:
+    """A Pratt truss under a midspan load."""
+    mesh = pratt_truss(panels, panel=2.0, height=2.0)
+    constraints = Constraints(mesh).fix(0)
+    constraints.prescribe(panels, 1, 0.0)  # roller at the far abutment
+    loads = LoadSet("mid").add_nodal(panels // 2, 1, -1e5)
+    return Problem(f"truss{panels}", mesh, constraints, loads)
+
+
+def machine_sweep(cluster_counts: Tuple[int, ...] = (1, 2, 4, 8),
+                  pes_per_cluster: int = 5) -> List[MachineConfig]:
+    """The configuration ladder used by the scaling experiments."""
+    return [
+        MachineConfig(
+            n_clusters=c,
+            pes_per_cluster=pes_per_cluster,
+            memory_words_per_cluster=16_000_000,
+            topology="complete" if c <= 2 else "hypercube" if (c & (c - 1)) == 0 else "complete",
+        )
+        for c in cluster_counts
+    ]
+
+
+def default_config(n_clusters: int = 4, pes: int = 5) -> MachineConfig:
+    return MachineConfig(
+        n_clusters=n_clusters,
+        pes_per_cluster=pes,
+        memory_words_per_cluster=16_000_000,
+    )

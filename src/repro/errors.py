@@ -1,0 +1,116 @@
+"""Exception hierarchy for the FEM-2 reproduction.
+
+Every layer raises subclasses of :class:`Fem2Error` so callers can catch
+failures from a whole layer (for example ``except HardwareError``) without
+knowing the specific module that raised.
+"""
+
+from __future__ import annotations
+
+
+class Fem2Error(Exception):
+    """Base class for every error raised by this package."""
+
+
+class HGraphError(Fem2Error):
+    """Errors from the H-graph semantics machinery (``repro.hgraph``)."""
+
+
+class GrammarError(HGraphError):
+    """Malformed H-graph grammar, or reference to an unknown symbol."""
+
+
+class TransformError(HGraphError):
+    """An H-graph transform failed or violated its declared conditions."""
+
+
+class HardwareError(Fem2Error):
+    """Errors from the machine simulator (``repro.hardware``)."""
+
+
+class ConfigurationError(HardwareError):
+    """Invalid machine configuration (PE counts, memory sizes, topology)."""
+
+
+class MemoryCapacityError(HardwareError):
+    """A cluster's shared memory could not satisfy an allocation."""
+
+
+class RoutingError(HardwareError):
+    """No route exists between two clusters (disconnected topology)."""
+
+
+class FaultError(HardwareError):
+    """An operation touched a hardware component marked faulty."""
+
+
+class SimulationError(HardwareError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class SysVMError(Fem2Error):
+    """Errors from the system programmer's virtual machine (``repro.sysvm``)."""
+
+
+class HeapError(SysVMError):
+    """Heap misuse: double free, bad address, or corrupted block list."""
+
+
+class MessageError(SysVMError):
+    """Malformed message, or decode of an unknown message kind."""
+
+
+class SchedulingError(SysVMError):
+    """Scheduler invariant violation (unknown task, bad state transition)."""
+
+
+class LangVMError(Fem2Error):
+    """Errors from the numerical analyst's virtual machine (``repro.langvm``)."""
+
+
+class OwnershipError(LangVMError):
+    """Direct access to data owned by another task (windows are required)."""
+
+
+class WindowError(LangVMError):
+    """Invalid window descriptor: out of bounds, bad shape, or stale."""
+
+
+class TaskStateError(LangVMError):
+    """Illegal task-control transition (resume a running task, etc.)."""
+
+
+class AppVMError(Fem2Error):
+    """Errors from the application user's virtual machine (``repro.appvm``)."""
+
+
+class CommandError(AppVMError):
+    """The interactive command language rejected a command."""
+
+
+class DatabaseError(AppVMError):
+    """Model database failure (unknown key, version conflict)."""
+
+
+class FEMError(Fem2Error):
+    """Errors from the finite-element substrate (``repro.fem``)."""
+
+
+class MeshError(FEMError):
+    """Invalid mesh: bad connectivity, degenerate element, unknown node."""
+
+
+class SolverError(FEMError):
+    """A linear solver failed to converge or received a singular system."""
+
+
+class DesignError(Fem2Error):
+    """Errors from the design-method core (``repro.core``)."""
+
+
+class RefinementError(DesignError):
+    """A layer claims an implementation that does not exist below it."""
+
+
+class AnalysisError(Fem2Error):
+    """Errors from the requirement-analysis package (``repro.analysis``)."""

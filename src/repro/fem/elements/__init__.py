@@ -1,0 +1,27 @@
+"""Element library: bar, beam, constant-strain triangle, bilinear quad."""
+
+from .base import ElementType, element_type, known_types, register
+from .bar import BAR2D, Bar2D
+from .beam import BEAM2D, Beam2D
+from .tri import TRI3, Tri3
+from .quad import GAUSS_POINTS, QUAD4, Quad4
+from .quad8 import GAUSS_POINTS_3x3, QUAD8, Quad8
+
+__all__ = [
+    "ElementType",
+    "element_type",
+    "known_types",
+    "register",
+    "BAR2D",
+    "Bar2D",
+    "BEAM2D",
+    "Beam2D",
+    "TRI3",
+    "Tri3",
+    "GAUSS_POINTS",
+    "QUAD4",
+    "Quad4",
+    "GAUSS_POINTS_3x3",
+    "QUAD8",
+    "Quad8",
+]

@@ -1,0 +1,79 @@
+"""Beam2D: the two-node Euler-Bernoulli frame element.
+
+Three DOF per node (u, v, theta): axial plus bending stiffness, with
+the standard cubic-Hermite bending terms, rotated into global axes.
+Stress recovery returns the axial force, shear force, and end moments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import FEMError
+from ..materials import Material
+from .base import ElementType, register
+
+
+class Beam2D(ElementType):
+    name = "beam2d"
+    nodes_per_element = 2
+    dofs_per_node = 3
+    stress_components = ("axial_force", "shear", "moment_i", "moment_j")
+
+    def _geometry(self, coords: np.ndarray):
+        d = coords[:, 1, :] - coords[:, 0, :]
+        length = np.linalg.norm(d, axis=1)
+        if np.any(length <= 0):
+            raise FEMError("beam2d: zero-length element")
+        return length, d[:, 0] / length, d[:, 1] / length
+
+    def _local_stiffness(self, length: np.ndarray, material: Material) -> np.ndarray:
+        e_mod, a, i_z = material.e, material.area, material.inertia
+        ne = length.shape[0]
+        k = np.zeros((ne, 6, 6))
+        ax = e_mod * a / length
+        b1 = 12.0 * e_mod * i_z / length**3
+        b2 = 6.0 * e_mod * i_z / length**2
+        b3 = 4.0 * e_mod * i_z / length
+        b4 = 2.0 * e_mod * i_z / length
+        k[:, 0, 0] = k[:, 3, 3] = ax
+        k[:, 0, 3] = k[:, 3, 0] = -ax
+        k[:, 1, 1] = k[:, 4, 4] = b1
+        k[:, 1, 4] = k[:, 4, 1] = -b1
+        k[:, 1, 2] = k[:, 2, 1] = k[:, 1, 5] = k[:, 5, 1] = b2
+        k[:, 2, 4] = k[:, 4, 2] = k[:, 4, 5] = k[:, 5, 4] = -b2
+        k[:, 2, 2] = k[:, 5, 5] = b3
+        k[:, 2, 5] = k[:, 5, 2] = b4
+        return k
+
+    def _rotation(self, c: np.ndarray, s: np.ndarray) -> np.ndarray:
+        ne = c.shape[0]
+        t = np.zeros((ne, 6, 6))
+        t[:, 0, 0] = t[:, 1, 1] = t[:, 3, 3] = t[:, 4, 4] = c
+        t[:, 0, 1] = t[:, 3, 4] = s
+        t[:, 1, 0] = t[:, 4, 3] = -s
+        t[:, 2, 2] = t[:, 5, 5] = 1.0
+        return t
+
+    def stiffness(self, coords: np.ndarray, material: Material) -> np.ndarray:
+        coords = self.validate_coords(coords)
+        length, c, s = self._geometry(coords)
+        k_local = self._local_stiffness(length, material)
+        t = self._rotation(c, s)
+        return np.einsum("eji,ejk,ekl->eil", t, k_local, t)
+
+    def stress(self, coords: np.ndarray, material: Material, u: np.ndarray) -> np.ndarray:
+        coords = self.validate_coords(coords)
+        u = np.asarray(u, dtype=float).reshape(coords.shape[0], 6)
+        length, c, s = self._geometry(coords)
+        t = self._rotation(c, s)
+        u_local = np.einsum("eij,ej->ei", t, u)
+        k_local = self._local_stiffness(length, material)
+        f_local = np.einsum("eij,ej->ei", k_local, u_local)
+        # end forces in local axes: axial at j, shear at j, moments at both
+        return np.stack(
+            [f_local[:, 3], f_local[:, 4], -f_local[:, 2], f_local[:, 5]], axis=1
+        )
+
+
+BEAM2D = register(Beam2D())

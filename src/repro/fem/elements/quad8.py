@@ -1,0 +1,104 @@
+"""Quad8: the eight-node serendipity quadrilateral.
+
+Quadratic edges, 3x3 Gauss integration; the workhorse for bending-
+dominated plane problems where Quad4 locks.  Node order: four corners
+counter-clockwise, then the four midside nodes (bottom, right, top,
+left).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import FEMError
+from ..materials import Material
+from .base import ElementType, register
+
+_G = np.sqrt(3.0 / 5.0)
+GAUSS_3 = [(-_G, 5 / 9), (0.0, 8 / 9), (_G, 5 / 9)]
+GAUSS_POINTS_3x3 = [
+    (xi, eta, wx * we) for xi, wx in GAUSS_3 for eta, we in GAUSS_3
+]
+
+#: (xi_i, eta_i) of the 8 nodes: corners then midsides
+_NODE_XI = np.array([-1.0, 1.0, 1.0, -1.0, 0.0, 1.0, 0.0, -1.0])
+_NODE_ETA = np.array([-1.0, -1.0, 1.0, 1.0, -1.0, 0.0, 1.0, 0.0])
+
+
+def shape_functions(xi: float, eta: float) -> np.ndarray:
+    """N_i(xi, eta): (8,)."""
+    n = np.zeros(8)
+    for i in range(4):  # corners
+        xs, es = _NODE_XI[i], _NODE_ETA[i]
+        n[i] = 0.25 * (1 + xi * xs) * (1 + eta * es) * (xi * xs + eta * es - 1)
+    n[4] = 0.5 * (1 - xi * xi) * (1 - eta)
+    n[5] = 0.5 * (1 + xi) * (1 - eta * eta)
+    n[6] = 0.5 * (1 - xi * xi) * (1 + eta)
+    n[7] = 0.5 * (1 - xi) * (1 - eta * eta)
+    return n
+
+
+def shape_derivs(xi: float, eta: float) -> np.ndarray:
+    """dN/d(xi, eta): (2, 8)."""
+    d = np.zeros((2, 8))
+    for i in range(4):
+        xs, es = _NODE_XI[i], _NODE_ETA[i]
+        d[0, i] = 0.25 * xs * (1 + eta * es) * (2 * xi * xs + eta * es)
+        d[1, i] = 0.25 * es * (1 + xi * xs) * (xi * xs + 2 * eta * es)
+    d[0, 4] = -xi * (1 - eta)
+    d[1, 4] = -0.5 * (1 - xi * xi)
+    d[0, 5] = 0.5 * (1 - eta * eta)
+    d[1, 5] = -eta * (1 + xi)
+    d[0, 6] = -xi * (1 + eta)
+    d[1, 6] = 0.5 * (1 - xi * xi)
+    d[0, 7] = -0.5 * (1 - eta * eta)
+    d[1, 7] = -eta * (1 - xi)
+    return d
+
+
+class Quad8(ElementType):
+    name = "quad8"
+    nodes_per_element = 8
+    dofs_per_node = 2
+    stress_components = ("sxx", "syy", "sxy")
+
+    def _b_at(self, coords: np.ndarray, xi: float, eta: float):
+        dn = shape_derivs(xi, eta)  # (2, 8)
+        jac = np.einsum("in,enj->eij", dn, coords)
+        det = jac[:, 0, 0] * jac[:, 1, 1] - jac[:, 0, 1] * jac[:, 1, 0]
+        if np.any(det <= 0):
+            raise FEMError("quad8: non-positive Jacobian (bad node ordering?)")
+        inv = np.empty_like(jac)
+        inv[:, 0, 0] = jac[:, 1, 1]
+        inv[:, 1, 1] = jac[:, 0, 0]
+        inv[:, 0, 1] = -jac[:, 0, 1]
+        inv[:, 1, 0] = -jac[:, 1, 0]
+        inv /= det[:, None, None]
+        dndx = np.einsum("eij,jn->ein", inv, dn)
+        ne = coords.shape[0]
+        b = np.zeros((ne, 3, 16))
+        b[:, 0, 0::2] = dndx[:, 0, :]
+        b[:, 1, 1::2] = dndx[:, 1, :]
+        b[:, 2, 0::2] = dndx[:, 1, :]
+        b[:, 2, 1::2] = dndx[:, 0, :]
+        return b, det
+
+    def stiffness(self, coords: np.ndarray, material: Material) -> np.ndarray:
+        coords = self.validate_coords(coords)
+        d = material.d_matrix()
+        t = material.thickness
+        k = np.zeros((coords.shape[0], 16, 16))
+        for xi, eta, w in GAUSS_POINTS_3x3:
+            b, det = self._b_at(coords, xi, eta)
+            k += np.einsum("eji,jk,ekl->eil", b, d, b) * (w * det * t)[:, None, None]
+        return k
+
+    def stress(self, coords: np.ndarray, material: Material, u: np.ndarray) -> np.ndarray:
+        coords = self.validate_coords(coords)
+        u = np.asarray(u, dtype=float).reshape(coords.shape[0], 16)
+        b, _ = self._b_at(coords, 0.0, 0.0)
+        strain = np.einsum("eij,ej->ei", b, u)
+        return strain @ material.d_matrix().T
+
+
+QUAD8 = register(Quad8())

@@ -1,0 +1,576 @@
+"""Distributed FEM on the simulated FEM-2 machine.
+
+Two drivers, both expressed entirely in the numerical analyst's VM:
+
+* :func:`parallel_cg_solve` — the equation-solution level of
+  parallelism: subdomain tasks assemble their local stiffness and serve
+  distributed matvecs; a root task runs conjugate gradient, exchanging
+  search directions and partial products through windows, and
+  synchronizing rounds with pause/resume.
+
+* :func:`parallel_substructure_solve` — the substructure level of
+  parallelism: one task per substructure condenses its interior onto
+  the interface (keeping the factor as local data across a pause), the
+  root assembles and solves the interface system, broadcasts nothing
+  back but writes interface displacements into the shared solution
+  array, and the workers back-substitute their interiors in parallel.
+
+Results are bit-comparable (to solver tolerance) with the host-side
+oracles in :mod:`repro.fem.solve` and :mod:`repro.fem.substructure`;
+every benchmark that uses these drivers asserts that equivalence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import FEMError, SolverError
+from ..langvm import Fem2Program, vec, whole
+from .bc import Constraints
+from .elements import element_type
+from .loads import LoadSet
+from .materials import Material
+from .mesh import Mesh
+from .partition import Subdomain, interface_dofs, partition_strips
+
+_uid = itertools.count(1)
+
+
+def _mat_tuple(m: Material) -> tuple:
+    return (m.e, m.nu, m.density, m.thickness, m.area, m.inertia, m.plane_stress)
+
+
+def _worker_payload(mesh: Mesh, material: Material, sub: Subdomain,
+                    fixed: np.ndarray) -> Dict:
+    """Everything a subdomain task needs, as plain transmissible values.
+
+    Element coordinates and hull-relative DOF maps per element type,
+    the hull geometry, the fixed DOFs inside the hull (hull-relative),
+    and the material constants.  The *size* of this payload is the
+    model-distribution traffic of the run.
+    """
+    lo, hi = sub.dof_lo, sub.dof_hi
+    etypes = {}
+    for name, rows in sub.element_rows.items():
+        dof_map = mesh.element_dofs(name)[rows] - lo
+        etypes[name] = {
+            "coords": mesh.element_coords(name)[rows],
+            "dofs_rel": dof_map,
+        }
+    fixed_rel = np.array([d - lo for d in fixed if lo <= d < hi], dtype=int)
+    return {
+        "etypes": etypes,
+        "hull_lo": lo,
+        "hull": hi - lo,
+        "fixed_rel": fixed_rel,
+        "mat": _mat_tuple(material),
+    }
+
+
+def _assemble_hull(payload: Dict) -> tuple:
+    """Assemble the hull-local dense stiffness; returns (k_hull, flops)."""
+    material = Material(*payload["mat"])
+    hull = payload["hull"]
+    k_hull = np.zeros((hull, hull))
+    flops = 0
+    for name, part in payload["etypes"].items():
+        et = element_type(name)
+        k_batch = et.stiffness(part["coords"], material)
+        dofs = part["dofs_rel"]
+        ne, nd = dofs.shape
+        rows = np.repeat(dofs, nd, axis=1).ravel()
+        cols = np.tile(dofs, (1, nd)).ravel()
+        np.add.at(k_hull, (rows, cols), k_batch.ravel())
+        flops += ne * et.flops_per_stiffness()
+    fixed_rel = payload["fixed_rel"]
+    if fixed_rel.size:
+        k_hull[fixed_rel, :] = 0.0
+        k_hull[:, fixed_rel] = 0.0
+    return k_hull, flops
+
+
+# -- distributed conjugate gradient ----------------------------------------------
+
+def _cg_worker(ctx, payload, p_win, q_win, ctrl_win, band):
+    """Subdomain task: assemble once, then serve matvec rounds."""
+    k_assembled, flops = _assemble_hull(payload)
+    yield ctx.compute(flops=flops)
+    # the local stiffness lives in cluster memory for the run's duration,
+    # so storage measurements see the dominant FEM data structure
+    k_handle = yield ctx.create(k_assembled)
+    k_hull = ctx.local(k_handle)
+    yield ctx.pause()  # ready
+    rounds = 0
+    while True:
+        ctrl = yield ctx.read(ctrl_win)
+        if ctrl.ravel()[0] > 0:
+            break
+        p_loc = (yield ctx.read(p_win)).ravel()
+        yield ctx.compute(flops=2 * k_hull.size)
+        q_loc = k_hull @ p_loc
+        yield ctx.accumulate(q_win, q_loc)
+        rounds += 1
+        yield ctx.pause()
+    return {"band": band, "rounds": rounds, "assembly_flops": flops}
+
+
+@dataclass
+class ParallelSolveInfo:
+    """Result of a distributed solve, plus machine measurements."""
+
+    u: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    elapsed_cycles: int
+    worker_stats: List[Dict]
+
+
+def start_parallel_cg(
+    program: Fem2Program,
+    mesh: Mesh,
+    material: Material,
+    constraints: Constraints,
+    loads: LoadSet,
+    n_workers: int = 4,
+    tol: float = 1e-8,
+    max_iter: Optional[int] = None,
+    subs: Optional[List[Subdomain]] = None,
+    cluster: int = 0,
+) -> int:
+    """Spawn a distributed-CG solve *without* running the clock.
+
+    Several solves may be submitted to one machine and run concurrently
+    (the multi-user scenario); collect each with
+    :func:`collect_parallel_cg` after the machine runs.  Supports
+    homogeneous constraints only.
+    """
+    if np.any(constraints.prescribed_values() != 0.0):
+        raise FEMError("parallel CG supports homogeneous constraints only")
+    if subs is None:
+        subs = partition_strips(mesh, n_workers)
+    n = mesh.n_dofs
+    fixed = constraints.fixed_dofs
+    f = loads.vector(mesh)
+    f = f.copy()
+    f[fixed] = 0.0
+    payloads = [_worker_payload(mesh, material, s, fixed) for s in subs]
+    limit = 4 * n if max_iter is None else max_iter
+    uid = next(_uid)
+    worker_name = f"fem.cg_worker.{uid}"
+    root_name = f"fem.cg_root.{uid}"
+    program.define(worker_name, _cg_worker, code_words=512, locals_words=256)
+    n_clusters = program.machine.config.n_clusters
+
+    def root(ctx):
+        p_arr = yield ctx.create(np.zeros(n))
+        q_arr = yield ctx.create(np.zeros(n))
+        ctrl = yield ctx.create(np.zeros(1))
+        tids = []
+        for i, (sub, payload) in enumerate(zip(subs, payloads)):
+            got = yield ctx.initiate(
+                worker_name,
+                payload,
+                vec(p_arr, sub.dof_lo, sub.dof_hi),
+                vec(q_arr, sub.dof_lo, sub.dof_hi),
+                whole(ctrl),
+                i,
+                count=1,
+                index_arg=False,
+                cluster=i % n_clusters,
+            )
+            tids.extend(got)
+        for t in tids:
+            yield ctx.wait_pause(t)
+
+        x = np.zeros(n)
+        r = f.copy()
+        p_vec = r.copy()
+        rz = float(r @ r)
+        b_norm = float(np.sqrt(rz)) or 1.0
+        res = float(np.sqrt(rz))
+        it = 0
+        while res > tol * b_norm and it < limit:
+            yield ctx.write(whole(p_arr), p_vec)
+            yield ctx.write(whole(q_arr), np.zeros(n))
+            for t in tids:
+                yield ctx.resume(t)
+            for t in tids:
+                yield ctx.wait_pause(t)
+            q = (yield ctx.read(whole(q_arr))).ravel()
+            yield ctx.compute(flops=10 * n)
+            pq = float(p_vec @ q)
+            if pq <= 0:
+                raise SolverError(f"distributed CG: p'Kp = {pq:g} (not SPD)")
+            alpha = rz / pq
+            x += alpha * p_vec
+            r -= alpha * q
+            rz_new = float(r @ r)
+            p_vec = r + (rz_new / rz) * p_vec
+            rz = rz_new
+            res = float(np.sqrt(rz))
+            it += 1
+        # stop the workers
+        yield ctx.write(whole(ctrl), np.ones(1))
+        for t in tids:
+            yield ctx.resume(t)
+        stats = yield ctx.wait(tids)
+        return {
+            "x": x,
+            "iterations": it,
+            "residual": res,
+            "converged": res <= tol * b_norm,
+            "worker_stats": [stats[t] for t in tids],
+        }
+
+    program.define(root_name, root, code_words=1024, locals_words=512)
+    return program.start(root_name, cluster=cluster)
+
+
+def collect_parallel_cg(program: Fem2Program, tid: int) -> ParallelSolveInfo:
+    """Build the solve result from a finished :func:`start_parallel_cg`."""
+    out = program.runtime.result_of(tid)
+    return ParallelSolveInfo(
+        u=out["x"],
+        iterations=out["iterations"],
+        residual_norm=out["residual"],
+        converged=out["converged"],
+        elapsed_cycles=program.now,
+        worker_stats=out["worker_stats"],
+    )
+
+
+def parallel_cg_solve(
+    program: Fem2Program,
+    mesh: Mesh,
+    material: Material,
+    constraints: Constraints,
+    loads: LoadSet,
+    n_workers: int = 4,
+    tol: float = 1e-8,
+    max_iter: Optional[int] = None,
+    subs: Optional[List[Subdomain]] = None,
+) -> ParallelSolveInfo:
+    """Solve K u = f on the simulated machine with distributed CG.
+
+    The one-shot form of :func:`start_parallel_cg`: spawn, run to
+    quiescence, collect.
+    """
+    tid = start_parallel_cg(
+        program, mesh, material, constraints, loads,
+        n_workers=n_workers, tol=tol, max_iter=max_iter, subs=subs,
+    )
+    program.runtime.run()
+    return collect_parallel_cg(program, tid)
+
+
+# -- distributed substructure analysis -----------------------------------------------
+
+def _sub_worker(ctx, payload, extra, root_tid, u_win, band):
+    """Condense, hand the Schur complement to the root, pause with the
+    interior factor as retained local data, then back-substitute."""
+    k_assembled, flops = _assemble_hull(payload)
+    k_handle = yield ctx.create(k_assembled)
+    k_hull = ctx.local(k_handle)
+    li = extra["interior_rel"]
+    lb = extra["boundary_rel"]
+    f_i = extra["f_i"]
+    k_ii = k_hull[np.ix_(li, li)]
+    k_ib = k_hull[np.ix_(li, lb)]
+    k_bb = k_hull[np.ix_(lb, lb)]
+    ni, nb = li.size, lb.size
+    if ni:
+        w = np.linalg.solve(k_ii, np.column_stack([k_ib, f_i]))
+        x_ib, x_fi = w[:, :-1], w[:, -1]
+        schur = k_bb - k_ib.T @ x_ib
+        g = -k_ib.T @ x_fi
+    else:
+        schur, g = k_bb, np.zeros(nb)
+    flops += ni**3 // 3 + 2 * ni * ni * (nb + 1)
+    yield ctx.compute(flops=flops)
+    yield ctx.broadcast((root_tid,), (band, schur, g, extra["boundary_global"]))
+    yield ctx.pause()  # interior factor retained across the pause
+    u_hull = (yield ctx.read(u_win)).ravel()
+    u_b = u_hull[lb]
+    if ni:
+        yield ctx.compute(flops=2 * ni * nb + 2 * ni * ni)
+        u_i = x_fi - x_ib @ u_b
+        scatter = np.zeros(payload["hull"])
+        scatter[li] = u_i
+        yield ctx.accumulate(u_win, scatter)
+    return {"band": band, "interior": int(ni), "boundary": int(nb)}
+
+
+def parallel_substructure_solve(
+    program: Fem2Program,
+    mesh: Mesh,
+    material: Material,
+    constraints: Constraints,
+    loads: LoadSet,
+    n_substructures: int = 4,
+    subs: Optional[List[Subdomain]] = None,
+) -> ParallelSolveInfo:
+    """Substructure analysis on the simulated machine."""
+    if subs is None:
+        subs = partition_strips(mesh, n_substructures)
+    n = mesh.n_dofs
+    fixed = constraints.fixed_dofs
+    fixed_set = set(fixed.tolist())
+    f = loads.vector(mesh)
+    f = f.copy()
+    f[fixed] = 0.0
+    iface_all = interface_dofs(mesh, subs)
+    iface = np.array([d for d in iface_all if d not in fixed_set], dtype=int)
+    iface_pos = {g: i for i, g in enumerate(iface)}
+    iface_set = set(iface.tolist())
+    nb_total = iface.size
+
+    payloads, extras = [], []
+    d = mesh.dofs_per_node
+    for sub in subs:
+        payload = _worker_payload(mesh, material, sub, fixed)
+        lo = sub.dof_lo
+        sub_dofs = (sub.nodes[:, None] * d + np.arange(d)[None, :]).ravel()
+        li, lb, bg = [], [], []
+        for g_dof in sub_dofs:
+            if g_dof in fixed_set:
+                continue
+            if g_dof in iface_set:
+                lb.append(g_dof - lo)
+                bg.append(g_dof)
+            else:
+                li.append(g_dof - lo)
+        extras.append(
+            {
+                "interior_rel": np.array(li, dtype=int),
+                "boundary_rel": np.array(lb, dtype=int),
+                "boundary_global": np.array(bg, dtype=int),
+                "f_i": f[np.array(li, dtype=int) + lo] if li else np.zeros(0),
+            }
+        )
+        payloads.append(payload)
+
+    uid = next(_uid)
+    worker_name = f"fem.sub_worker.{uid}"
+    root_name = f"fem.sub_root.{uid}"
+    program.define(worker_name, _sub_worker, code_words=640, locals_words=512)
+    n_clusters = program.machine.config.n_clusters
+    cfg = program.machine.config
+
+    def root(ctx):
+        u_arr = yield ctx.create(np.zeros(n))
+        tids = []
+        for i, (sub, payload, extra) in enumerate(zip(subs, payloads, extras)):
+            got = yield ctx.initiate(
+                worker_name,
+                payload,
+                extra,
+                ctx.task_id,
+                vec(u_arr, sub.dof_lo, sub.dof_hi),
+                i,
+                count=1,
+                index_arg=False,
+                cluster=i % n_clusters,
+            )
+            tids.extend(got)
+        k_iface = np.zeros((nb_total, nb_total))
+        rhs = f[iface].astype(float).copy()
+        for _ in tids:
+            band, schur, g, bg = yield ctx.receive()
+            idx = np.array([iface_pos[gd] for gd in bg], dtype=int)
+            if idx.size:
+                k_iface[np.ix_(idx, idx)] += schur
+                rhs[idx] += g
+        yield ctx.compute(flops=nb_total**3 // 3 + 2 * nb_total * nb_total)
+        u_b = np.linalg.solve(k_iface, rhs) if nb_total else np.zeros(0)
+        # the root owns the solution array: write interface values in place
+        u_host = ctx.local(u_arr)
+        u_host[iface] = u_b
+        yield ctx.compute(cycles=cfg.word_touch_cycles * max(1, nb_total))
+        for t in tids:
+            yield ctx.resume(t)
+        stats = yield ctx.wait(tids)
+        u_full = ctx.local(u_arr).copy()
+        return {"u": u_full, "stats": [stats[t] for t in tids]}
+
+    program.define(root_name, root, code_words=1024, locals_words=512)
+    out = program.run(root_name, cluster=0)
+    u = out["u"]
+    for dof, value in zip(constraints.fixed_dofs, constraints.prescribed_values()):
+        u[dof] = value
+    return ParallelSolveInfo(
+        u=u,
+        iterations=1,
+        residual_norm=0.0,
+        converged=True,
+        elapsed_cycles=program.now,
+        worker_stats=out["stats"],
+    )
+
+
+# -- distributed stress recovery ------------------------------------------------
+
+def _stress_worker(ctx, payload, u_win, band):
+    """Recover element stresses for one subdomain from the solution.
+
+    Reads the hull band of the displacement vector through a window,
+    evaluates element stresses locally, and returns the per-type peak
+    |stress| plus the element count — the reduction the workstation's
+    "calculate stresses" display needs.
+    """
+    material = Material(*payload["mat"])
+    u_hull = (yield ctx.read(u_win)).ravel()
+    peaks = {}
+    n_elements = 0
+    flops = 0
+    for name, part in payload["etypes"].items():
+        et = element_type(name)
+        dofs = part["dofs_rel"]
+        u_e = u_hull[dofs]
+        stresses = et.stress(part["coords"], material, u_e)
+        nd = et.dofs_per_element
+        flops += dofs.shape[0] * 4 * nd * max(1, len(et.stress_components))
+        peaks[name] = float(np.abs(stresses).max()) if stresses.size else 0.0
+        n_elements += dofs.shape[0]
+    yield ctx.compute(flops=flops)
+    return {"band": band, "peaks": peaks, "elements": n_elements}
+
+
+def parallel_stress_recovery(
+    program: Fem2Program,
+    mesh: Mesh,
+    material: Material,
+    u: np.ndarray,
+    n_workers: int = 4,
+    subs: Optional[List[Subdomain]] = None,
+) -> Dict[str, float]:
+    """"Calculate stresses" as a parallel phase on the simulated machine.
+
+    The solution vector *u* is placed in a root-owned array; one task
+    per subdomain reads its hull band, evaluates its elements, and
+    returns per-type stress peaks, which the root combines.  Returns
+    ``{etype: peak |stress|}`` — asserted equal to the host-side
+    recovery in the tests.
+    """
+    if subs is None:
+        subs = partition_strips(mesh, n_workers)
+    u = np.asarray(u, dtype=float)
+    if u.shape[0] != mesh.n_dofs:
+        raise FEMError(f"u has {u.shape[0]} dofs, mesh has {mesh.n_dofs}")
+    payloads = [_worker_payload(mesh, material, s, np.zeros(0, dtype=int))
+                for s in subs]
+    uid = next(_uid)
+    worker_name = f"fem.stress_worker.{uid}"
+    root_name = f"fem.stress_root.{uid}"
+    program.define(worker_name, _stress_worker, code_words=384, locals_words=128)
+    n_clusters = program.machine.config.n_clusters
+
+    def root(ctx):
+        u_arr = yield ctx.create(u)
+        tids = []
+        for i, (sub, payload) in enumerate(zip(subs, payloads)):
+            got = yield ctx.initiate(
+                worker_name,
+                payload,
+                vec(u_arr, sub.dof_lo, sub.dof_hi),
+                i,
+                count=1,
+                index_arg=False,
+                cluster=i % n_clusters,
+            )
+            tids.extend(got)
+        results = yield ctx.wait(tids)
+        combined: Dict[str, float] = {}
+        for t in tids:
+            for name, peak in results[t]["peaks"].items():
+                combined[name] = max(combined.get(name, 0.0), peak)
+        yield ctx.compute(flops=len(tids))
+        return combined
+
+    program.define(root_name, root, code_words=512, locals_words=256)
+    return program.run(root_name, cluster=0)
+
+
+# -- distributed dominant-eigenvalue estimation -----------------------------------
+
+def parallel_power_iteration(
+    program: Fem2Program,
+    mesh: Mesh,
+    material: Material,
+    constraints: Constraints,
+    iterations: int = 30,
+    n_workers: int = 4,
+    subs: Optional[List[Subdomain]] = None,
+) -> Dict:
+    """Dominant eigenvalue of the constrained stiffness by distributed
+    power iteration.
+
+    Reuses the CG subdomain workers' matvec service verbatim — the same
+    assemble-once/serve-rounds protocol drives a different Krylov
+    method, which is the reusability story the analyst's VM promises.
+    Returns {"eigenvalue", "iterations", "elapsed_cycles"}.
+    """
+    if subs is None:
+        subs = partition_strips(mesh, n_workers)
+    n = mesh.n_dofs
+    fixed = constraints.fixed_dofs
+    payloads = [_worker_payload(mesh, material, s, fixed) for s in subs]
+    uid = next(_uid)
+    worker_name = f"fem.pw_worker.{uid}"
+    root_name = f"fem.pw_root.{uid}"
+    program.define(worker_name, _cg_worker, code_words=512, locals_words=256)
+    n_clusters = program.machine.config.n_clusters
+
+    def root(ctx):
+        x_arr = yield ctx.create(np.zeros(n))
+        y_arr = yield ctx.create(np.zeros(n))
+        ctrl = yield ctx.create(np.zeros(1))
+        tids = []
+        for i, (sub, payload) in enumerate(zip(subs, payloads)):
+            got = yield ctx.initiate(
+                worker_name,
+                payload,
+                vec(x_arr, sub.dof_lo, sub.dof_hi),
+                vec(y_arr, sub.dof_lo, sub.dof_hi),
+                whole(ctrl),
+                i,
+                count=1,
+                index_arg=False,
+                cluster=i % n_clusters,
+            )
+            tids.extend(got)
+        for t in tids:
+            yield ctx.wait_pause(t)
+
+        x = np.ones(n)
+        x[fixed] = 0.0
+        x /= np.linalg.norm(x)
+        lam = 0.0
+        for _ in range(iterations):
+            yield ctx.write(whole(x_arr), x)
+            yield ctx.write(whole(y_arr), np.zeros(n))
+            for t in tids:
+                yield ctx.resume(t)
+            for t in tids:
+                yield ctx.wait_pause(t)
+            y = (yield ctx.read(whole(y_arr))).ravel()
+            yield ctx.compute(flops=4 * n)
+            lam = float(x @ y)
+            norm = float(np.linalg.norm(y))
+            if norm == 0.0:
+                raise SolverError("power iteration collapsed to zero")
+            x = y / norm
+        yield ctx.write(whole(ctrl), np.ones(1))
+        for t in tids:
+            yield ctx.resume(t)
+        yield ctx.wait(tids)
+        return {"eigenvalue": lam, "iterations": iterations}
+
+    program.define(root_name, root, code_words=768, locals_words=384)
+    out = program.run(root_name, cluster=0)
+    out["elapsed_cycles"] = program.now
+    return out

@@ -1,0 +1,85 @@
+"""Mesh quality metrics.
+
+The grid-generation operation of the application VM needs an answer to
+"is this mesh any good?" before cycles are spent solving on it.
+Metrics per element: aspect ratio, minimum corner angle, and (for
+quads) skew; plus mesh-level summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..errors import FEMError
+from .mesh import Mesh
+
+
+def _corner_angles(coords: np.ndarray) -> np.ndarray:
+    """Interior corner angles (degrees) per element: (E, nn)."""
+    ne, nn, _ = coords.shape
+    angles = np.zeros((ne, nn))
+    for i in range(nn):
+        prev = coords[:, (i - 1) % nn, :] - coords[:, i, :]
+        nxt = coords[:, (i + 1) % nn, :] - coords[:, i, :]
+        cosang = np.einsum("ej,ej->e", prev, nxt) / (
+            np.linalg.norm(prev, axis=1) * np.linalg.norm(nxt, axis=1)
+        )
+        angles[:, i] = np.degrees(np.arccos(np.clip(cosang, -1.0, 1.0)))
+    return angles
+
+
+def _edge_lengths(coords: np.ndarray) -> np.ndarray:
+    """Edge lengths per element: (E, nn)."""
+    rolled = np.roll(coords, -1, axis=1)
+    return np.linalg.norm(rolled - coords, axis=2)
+
+
+def element_quality(mesh: Mesh, etype_name: str) -> Dict[str, np.ndarray]:
+    """Per-element metrics for one group: aspect, min_angle, max_angle."""
+    if etype_name not in mesh.groups:
+        raise FEMError(f"mesh has no {etype_name!r} elements")
+    coords = mesh.element_coords(etype_name)
+    if coords.shape[1] < 3:
+        # line elements: aspect is trivially 1, angles undefined
+        return {
+            "aspect": np.ones(coords.shape[0]),
+            "min_angle": np.full(coords.shape[0], np.nan),
+            "max_angle": np.full(coords.shape[0], np.nan),
+        }
+    edges = _edge_lengths(coords)
+    angles = _corner_angles(coords)
+    return {
+        "aspect": edges.max(axis=1) / edges.min(axis=1),
+        "min_angle": angles.min(axis=1),
+        "max_angle": angles.max(axis=1),
+    }
+
+
+def mesh_quality(mesh: Mesh) -> Dict[str, float]:
+    """Mesh-level summary: worst aspect, worst angles, element count."""
+    worst_aspect = 1.0
+    worst_min_angle = 180.0
+    worst_max_angle = 0.0
+    for name in mesh.groups:
+        q = element_quality(mesh, name)
+        if np.all(np.isnan(q["min_angle"])):
+            continue
+        worst_aspect = max(worst_aspect, float(np.nanmax(q["aspect"])))
+        worst_min_angle = min(worst_min_angle, float(np.nanmin(q["min_angle"])))
+        worst_max_angle = max(worst_max_angle, float(np.nanmax(q["max_angle"])))
+    return {
+        "elements": mesh.n_elements,
+        "worst_aspect": worst_aspect,
+        "worst_min_angle": worst_min_angle,
+        "worst_max_angle": worst_max_angle,
+    }
+
+
+def acceptable(mesh: Mesh, max_aspect: float = 10.0, min_angle: float = 15.0) -> bool:
+    """The go/no-go check the workstation runs after grid generation."""
+    q = mesh_quality(mesh)
+    if q["worst_min_angle"] == 180.0:  # no area elements at all
+        return True
+    return q["worst_aspect"] <= max_aspect and q["worst_min_angle"] >= min_angle

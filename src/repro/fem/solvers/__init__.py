@@ -1,0 +1,35 @@
+"""Linear solvers: direct (sparse LU, dense Cholesky) and iterative
+(CG, Jacobi, SOR), all returning :class:`SolveResult`."""
+
+from .result import SolveResult
+from .direct import (
+    cholesky_factor,
+    cholesky_solve_factored,
+    solve_cholesky,
+    solve_sparse_lu,
+)
+from .iterative import conjugate_gradient, jacobi, sor
+
+#: name -> callable(k, f, **kw) for benchmark sweeps
+SOLVERS = {
+    "sparse_lu": solve_sparse_lu,
+    "cholesky": solve_cholesky,
+    "cg": conjugate_gradient,
+    "pcg_jacobi": lambda a, b, **kw: conjugate_gradient(
+        a, b, preconditioner="jacobi", **kw
+    ),
+    "jacobi": jacobi,
+    "sor": sor,
+}
+
+__all__ = [
+    "SolveResult",
+    "cholesky_factor",
+    "cholesky_solve_factored",
+    "solve_cholesky",
+    "solve_sparse_lu",
+    "conjugate_gradient",
+    "jacobi",
+    "sor",
+    "SOLVERS",
+]

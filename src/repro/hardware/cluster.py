@@ -1,0 +1,104 @@
+"""Clusters: processing elements organized around a shared memory.
+
+"An architecture is evolving that is configured as clusters of
+processing elements organized around a shared memory. ... Within each
+cluster, one PE runs the operating system kernel, which fields incoming
+messages and assigns available PE's to process them.  Messages arriving
+in the input queue of any cluster can be processed by any available PE."
+
+The hardware cluster owns the PEs, the shared memory, and the input
+queue.  *Policy* — which PE serves which message — belongs to the
+system programmer's VM (:mod:`repro.sysvm.kernel`), which installs an
+``on_message`` hook here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from ..errors import ConfigurationError, FaultError
+from .events import EventEngine
+from .memory import SharedMemory
+from .metrics import MetricsRegistry
+from .pe import PEState, ProcessingElement
+
+
+class Cluster:
+    """One cluster: kernel PE + worker PEs + shared memory + input queue."""
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        metrics: MetricsRegistry,
+        cluster_id: int,
+        n_pes: int,
+        memory_words: int,
+    ) -> None:
+        if n_pes < 2:
+            raise ConfigurationError(
+                f"cluster needs >= 2 PEs (one kernel, one worker), got {n_pes}"
+            )
+        self.engine = engine
+        self.metrics = metrics
+        self.cluster_id = cluster_id
+        self.pes: List[ProcessingElement] = [
+            ProcessingElement(engine, metrics, cluster_id, i, is_kernel=(i == 0))
+            for i in range(n_pes)
+        ]
+        self.memory = SharedMemory(metrics, cluster_id, memory_words)
+        self.input_queue: Deque[Any] = deque()
+        self.queue_high_water = 0
+        #: installed by the sysvm kernel; called after a message is enqueued
+        self.on_message: Optional[Callable[["Cluster"], None]] = None
+        self.failed = False
+
+    @property
+    def kernel_pe(self) -> ProcessingElement:
+        return self.pes[0]
+
+    @property
+    def worker_pes(self) -> List[ProcessingElement]:
+        return self.pes[1:]
+
+    def available_workers(self) -> List[ProcessingElement]:
+        """Worker PEs idle right now (the kernel PE never runs tasks)."""
+        return [pe for pe in self.worker_pes if pe.is_available()]
+
+    def enqueue(self, message: Any) -> None:
+        """A message arrives in the cluster's input queue."""
+        if self.failed:
+            raise FaultError(f"cluster {self.cluster_id} is down")
+        self.input_queue.append(message)
+        qlen = len(self.input_queue)
+        if qlen > self.queue_high_water:
+            self.queue_high_water = qlen
+        self.metrics.observe(f"queue.cluster{self.cluster_id}", qlen)
+        if self.on_message is not None:
+            self.on_message(self)
+
+    def dequeue(self) -> Any:
+        return self.input_queue.popleft()
+
+    def fail(self) -> None:
+        """Take the whole cluster down: all PEs fault, queue is dropped."""
+        self.failed = True
+        for pe in self.pes:
+            if pe.state is not PEState.FAULTY:
+                pe.fail()
+        self.metrics.incr("fault.cluster_failures")
+        self.metrics.incr("fault.messages_lost", len(self.input_queue))
+        self.input_queue.clear()
+
+    def utilization(self) -> float:
+        """Mean worker-PE utilization over elapsed simulated time."""
+        workers = self.worker_pes
+        if not workers:
+            return 0.0
+        return sum(pe.utilization() for pe in workers) / len(workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cluster({self.cluster_id}, pes={len(self.pes)}, "
+            f"queue={len(self.input_queue)})"
+        )

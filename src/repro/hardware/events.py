@@ -1,0 +1,113 @@
+"""Discrete-event engine for the FEM-2 machine simulator.
+
+Simulated time is measured in **cycles** (integers).  All hardware and
+virtual-machine activity — PE compute bursts, message hops, kernel
+dispatch — is expressed as events on one engine, so measurements of
+processing, storage, and communication share a single clock, as the
+paper's simulation program requires.
+
+Determinism: events at equal times fire in scheduling order (a
+monotonically increasing sequence number breaks ties), so simulations
+are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  ``cancel()`` is O(1); cancelled events are
+    skipped when popped."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        return f"Event(t={self.time}, {name})"
+
+
+class EventEngine:
+    """A priority-queue discrete-event simulator clocked in cycles."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run *delay* cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + int(delay), fn, *args)
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute cycle count."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is {self.now}"
+            )
+        ev = Event(int(time), next(self._seq), fn, args)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if none remain."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            self.events_processed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, *until* cycles pass, or
+        *max_events* fire.  Returns the number of events processed."""
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            nxt = self._peek()
+            if nxt is None:
+                break
+            if until is not None and nxt.time > until:
+                self.now = until
+                break
+            self.step()
+            processed += 1
+        if until is not None and self.now < until and not self._queue:
+            self.now = until
+        return processed
+
+    def _peek(self) -> Optional[Event]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def idle(self) -> bool:
+        return self._peek() is None

@@ -1,0 +1,96 @@
+"""Fault injection and reconfiguration.
+
+The paper's architecture requirements include "provide reconfigurability
+to isolate faulty hardware components".  The injector fails PEs, links,
+or whole clusters at scheduled simulation times; reconfiguration removes
+the faulty components from routing and dispatch so the rest of the
+machine keeps working.  Experiment E7 measures throughput with
+reconfiguration on versus off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import FaultError
+from .machine import Machine
+from .pe import PEState
+
+
+@dataclass
+class FaultRecord:
+    time: int
+    kind: str            # "pe" | "link" | "cluster"
+    target: Tuple        # (cluster, pe) or (a, b) or (cluster,)
+
+
+class FaultInjector:
+    """Injects faults into a machine, immediately or at a future time."""
+
+    def __init__(self, machine: Machine, reconfigure: bool = True, runtime=None) -> None:
+        self.machine = machine
+        #: when False, faulty components stay in the routing/dispatch sets,
+        #: modelling a machine without the paper's reconfigurability.
+        self.reconfigure = reconfigure
+        #: a ``repro.sysvm.runtime.Runtime`` to notify, so interrupted
+        #: tasks are restarted (PE fault) or reported lost (cluster fault)
+        self.runtime = runtime
+        self.log: List[FaultRecord] = []
+
+    # -- immediate faults ----------------------------------------------------
+
+    def fail_pe(self, cluster_id: int, pe_index: int) -> None:
+        pe = self.machine.cluster(cluster_id).pes[pe_index]
+        if pe.is_kernel:
+            # losing the kernel PE takes the whole cluster down
+            raise FaultError(
+                "kernel PE failure takes the cluster down; use fail_cluster"
+            )
+        pe.fail()
+        self.log.append(FaultRecord(self.machine.now, "pe", (cluster_id, pe_index)))
+        if self.runtime is not None and self.reconfigure:
+            self.runtime.recover_pe_failure(pe)
+
+    def fail_link(self, a: int, b: int) -> None:
+        self.machine.network.fail_link(a, b)
+        self.log.append(FaultRecord(self.machine.now, "link", (a, b)))
+
+    def fail_cluster(self, cluster_id: int) -> None:
+        cluster = self.machine.cluster(cluster_id)
+        cluster.fail()
+        if self.reconfigure:
+            self.machine.network.fail_cluster(cluster_id)
+        self.log.append(FaultRecord(self.machine.now, "cluster", (cluster_id,)))
+        if self.runtime is not None:
+            self.runtime.recover_cluster_failure(cluster_id)
+
+    def repair_pe(self, cluster_id: int, pe_index: int) -> None:
+        self.machine.cluster(cluster_id).pes[pe_index].repair()
+
+    # -- scheduled faults -------------------------------------------------------
+
+    def schedule_pe_failure(self, at: int, cluster_id: int, pe_index: int) -> None:
+        self.machine.engine.schedule_at(at, self.fail_pe, cluster_id, pe_index)
+
+    def schedule_cluster_failure(self, at: int, cluster_id: int) -> None:
+        self.machine.engine.schedule_at(at, self.fail_cluster, cluster_id)
+
+    def schedule_link_failure(self, at: int, a: int, b: int) -> None:
+        self.machine.engine.schedule_at(at, self.fail_link, a, b)
+
+    # -- state ----------------------------------------------------------------
+
+    def healthy_worker_count(self) -> int:
+        return sum(
+            1
+            for c in self.machine.live_clusters()
+            for pe in c.worker_pes
+            if pe.state is not PEState.FAULTY
+        )
+
+    def summary(self) -> str:
+        lines = [f"{len(self.log)} faults injected"]
+        for rec in self.log:
+            lines.append(f"  t={rec.time}: {rec.kind} {rec.target}")
+        return "\n".join(lines)

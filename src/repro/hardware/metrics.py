@@ -1,0 +1,187 @@
+"""Measurement infrastructure: the counters the paper says matter.
+
+"Simulations to measure the storage, processing, and communication
+patterns in typical FEM-2 applications ... are of particular
+importance."  Every simulator component reports through a shared
+:class:`MetricsRegistry`, so one object answers the three questions:
+how many cycles of processing, how many words of storage, how many
+messages/words of communication.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Histogram:
+    """Streaming summary of a distribution: count/sum/min/max/mean/variance.
+
+    Uses Welford's online algorithm; no samples are retained, so traces
+    of millions of messages cost O(1) memory.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0, "std": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "std": self.std,
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* into this histogram (parallel-merge of Welford)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.total = other.count, other.total
+            self.min, self.max = other.min, other.max
+            self._mean, self._m2 = other._mean, other._m2
+            return
+        n1, n2 = self.count, other.count
+        delta = other._mean - self._mean
+        total_n = n1 + n2
+        self._m2 = self._m2 + other._m2 + delta * delta * n1 * n2 / total_n
+        self._mean = (self._mean * n1 + other._mean * n2) / total_n
+        self.count = total_n
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+@dataclass
+class BusyTracker:
+    """Tracks utilization of a resource (a PE) over simulated time."""
+
+    busy_cycles: int = 0
+    _busy_since: Optional[int] = None
+
+    def begin(self, now: int) -> None:
+        if self._busy_since is not None:
+            raise ValueError("resource already busy")
+        self._busy_since = now
+
+    def end(self, now: int) -> None:
+        if self._busy_since is None:
+            raise ValueError("resource not busy")
+        self.busy_cycles += now - self._busy_since
+        self._busy_since = None
+
+    def is_busy(self) -> bool:
+        return self._busy_since is not None
+
+    def utilization(self, elapsed: int) -> float:
+        return self.busy_cycles / elapsed if elapsed else 0.0
+
+
+class MetricsRegistry:
+    """Dotted-name counters and histograms shared by all components.
+
+    Counter names follow ``<area>.<detail>`` — e.g. ``proc.flops``,
+    ``comm.messages.initiate_task``, ``mem.hwm.cluster0`` — so reports
+    can aggregate by prefix.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._histograms: Dict[str, Histogram] = {}
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self._counters[name] += amount
+
+    def set_max(self, name: str, value: float) -> None:
+        """Record a high-water mark."""
+        if value > self._counters.get(name, -math.inf):
+            self._counters[name] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._counters.get(name, default)
+
+    def observe(self, name: str, value: float) -> None:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        h.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.get(name, Histogram())
+
+    def by_prefix(self, prefix: str) -> Dict[str, float]:
+        """All counters under a dotted prefix, keys relative to it."""
+        p = prefix if prefix.endswith(".") else prefix + "."
+        return {k[len(p):]: v for k, v in self._counters.items() if k.startswith(p)}
+
+    def total(self, prefix: str) -> float:
+        return sum(self.by_prefix(prefix).values())
+
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat snapshot including histogram summaries (dotted keys)."""
+        out = dict(self._counters)
+        for name, h in self._histograms.items():
+            for k, v in h.summary().items():
+                out[f"{name}.{k}"] = v
+        return out
+
+    def report(self, prefixes: Iterable[str] = ()) -> str:
+        """Human-readable dump, optionally restricted to prefixes."""
+        keys = sorted(self._counters)
+        if prefixes:
+            keys = [k for k in keys if any(k.startswith(p) for p in prefixes)]
+        width = max((len(k) for k in keys), default=10)
+        lines = [f"{k:<{width}}  {self._counters[k]:>14,.0f}" for k in keys]
+        for name in sorted(self._histograms):
+            if prefixes and not any(name.startswith(p) for p in prefixes):
+                continue
+            s = self._histograms[name].summary()
+            lines.append(
+                f"{name:<{width}}  n={s['count']:.0f} mean={s['mean']:.1f} "
+                f"max={s['max']:.0f} sum={s['sum']:.0f}"
+            )
+        return "\n".join(lines)

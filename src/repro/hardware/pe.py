@@ -1,0 +1,108 @@
+"""Processing elements.
+
+Each cluster contains identical PEs; by convention PE 0 of every
+cluster runs the operating-system kernel ("Within each cluster, one PE
+runs the operating system kernel, which fields incoming messages and
+assigns available PE's to process them").
+
+A PE executes *compute bursts*: the caller asks for ``cycles`` of work
+and a completion callback.  The PE is busy until the burst ends; the
+scheduler above (``repro.sysvm``) is responsible for never handing work
+to a busy PE.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, Tuple
+
+from ..errors import FaultError, SchedulingError
+from .events import EventEngine
+from .metrics import BusyTracker, MetricsRegistry
+
+
+class PEState(enum.Enum):
+    IDLE = "idle"
+    BUSY = "busy"
+    FAULTY = "faulty"
+
+
+class ProcessingElement:
+    """One microprocessor of the FEM-2 array."""
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        metrics: MetricsRegistry,
+        cluster_id: int,
+        index: int,
+        is_kernel: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.metrics = metrics
+        self.cluster_id = cluster_id
+        self.index = index
+        self.is_kernel = is_kernel
+        self.state = PEState.IDLE
+        self.busy = BusyTracker()
+        self.cycles_executed = 0
+        self._burst_event = None
+
+    @property
+    def pe_id(self) -> Tuple[int, int]:
+        return (self.cluster_id, self.index)
+
+    @property
+    def name(self) -> str:
+        return f"pe{self.cluster_id}.{self.index}"
+
+    def execute(self, cycles: int, on_done: Callable[[], None]) -> None:
+        """Run a compute burst of *cycles*; call *on_done* when finished.
+
+        Zero-cycle bursts complete via the event queue too, preserving
+        deterministic ordering.
+        """
+        if self.state is PEState.FAULTY:
+            raise FaultError(f"{self.name} is faulty")
+        if self.state is PEState.BUSY:
+            raise SchedulingError(f"{self.name} is already busy")
+        if cycles < 0:
+            raise SchedulingError(f"negative burst length {cycles}")
+        self.state = PEState.BUSY
+        self.busy.begin(self.engine.now)
+        self.metrics.incr("proc.bursts")
+        self._burst_event = self.engine.schedule(cycles, self._finish, cycles, on_done)
+
+    def _finish(self, cycles: int, on_done: Callable[[], None]) -> None:
+        if self.state is PEState.FAULTY:
+            return  # burst was lost to a fault
+        self.cycles_executed += cycles
+        self.metrics.incr("proc.cycles", cycles)
+        self.busy.end(self.engine.now)
+        self.state = PEState.IDLE
+        self._burst_event = None
+        on_done()
+
+    def fail(self) -> None:
+        """Mark the PE faulty; any in-flight burst is lost."""
+        if self.state is PEState.BUSY:
+            self.busy.end(self.engine.now)
+            if self._burst_event is not None:
+                self._burst_event.cancel()
+                self._burst_event = None
+        self.state = PEState.FAULTY
+        self.metrics.incr("fault.pe_failures")
+
+    def repair(self) -> None:
+        if self.state is not PEState.FAULTY:
+            raise FaultError(f"{self.name} is not faulty")
+        self.state = PEState.IDLE
+
+    def is_available(self) -> bool:
+        return self.state is PEState.IDLE
+
+    def utilization(self) -> float:
+        return self.busy.utilization(self.engine.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PE({self.name}, {self.state.value})"

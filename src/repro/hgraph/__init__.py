@@ -1,0 +1,67 @@
+"""H-graph semantics (Pratt, ref [7] of the paper).
+
+The formal-specification machinery of the FEM-2 design method: data
+objects are hierarchies of directed graphs (:class:`HGraph`), data types
+are H-graph grammars (:class:`Grammar`), and operations are H-graph
+transforms (:class:`Transform`) executed by the :class:`Interpreter`.
+"""
+
+from .atoms import ATOM_TYPES, Symbol, atom_kind, is_atom
+from .graph import Graph, HGraph, Node
+from .grammar import (
+    Alt,
+    Any,
+    Any_,
+    AtomKind,
+    Const,
+    Form,
+    Grammar,
+    Ref,
+    Struct,
+    Sub,
+    list_grammar,
+    record_grammar,
+)
+from .matcher import Generator, MatchReport, Matcher
+from .transform import Condition, Transform, transform
+from .interpreter import CallContext, CallRecord, Interpreter, InterpreterStats
+from .serialize import from_dict, graph_signature, to_dict
+from .render import pretty, summary, to_dot
+
+__all__ = [
+    "ATOM_TYPES",
+    "Symbol",
+    "atom_kind",
+    "is_atom",
+    "Graph",
+    "HGraph",
+    "Node",
+    "Alt",
+    "Any",
+    "Any_",
+    "AtomKind",
+    "Const",
+    "Form",
+    "Grammar",
+    "Ref",
+    "Struct",
+    "Sub",
+    "list_grammar",
+    "record_grammar",
+    "Generator",
+    "MatchReport",
+    "Matcher",
+    "Condition",
+    "Transform",
+    "transform",
+    "CallContext",
+    "CallRecord",
+    "Interpreter",
+    "InterpreterStats",
+    "from_dict",
+    "graph_signature",
+    "to_dict",
+    "pretty",
+    "summary",
+    "to_dot",
+]

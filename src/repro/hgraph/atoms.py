@@ -1,0 +1,59 @@
+"""Atoms: the primitive node values of H-graph semantics.
+
+In Pratt's model a node is an abstract storage location whose value is
+either an *atom* (an uninterpreted primitive) or another graph.  We admit
+the Python primitives that the FEM-2 specifications need — integers,
+floats, strings, booleans, and ``None`` — plus a small tagged symbol type
+used by grammars that want enumerated atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Python types accepted as atomic node values.
+ATOM_TYPES = (int, float, str, bool, type(None))
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """An interned enumerated atom, e.g. ``Symbol("ready")``.
+
+    Symbols compare by name and print as ``'name``, following the LISP
+    convention used in Pratt's examples.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"'{self.name}"
+
+
+def is_atom(value: Any) -> bool:
+    """Return True if *value* may be stored directly in a node.
+
+    Graphs are not atoms; neither are containers.  ``bool`` is checked
+    before ``int`` only conceptually — ``isinstance`` covers both.
+    """
+    return isinstance(value, ATOM_TYPES) or isinstance(value, Symbol)
+
+
+def atom_kind(value: Any) -> str:
+    """Classify an atom into the kind names used by grammars.
+
+    Kinds: ``int``, ``float``, ``str``, ``bool``, ``null``, ``symbol``.
+    """
+    if isinstance(value, Symbol):
+        return "symbol"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if value is None:
+        return "null"
+    raise TypeError(f"not an atom: {value!r}")

@@ -1,0 +1,92 @@
+"""Rendering H-graphs: text trees and Graphviz DOT.
+
+The design documents the method produces need readable pictures of the
+formal models.  ``pretty`` renders one graph as an indented access-path
+tree (cycles and sharing become back-references); ``to_dot`` emits DOT
+for a whole H-graph, with subgraph-valued nodes drawn as dashed
+containment edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .atoms import Symbol
+from .graph import Graph, HGraph, Node
+
+
+def _value_label(node: Node) -> str:
+    if isinstance(node.value, Graph):
+        return f"<g{node.value.gid}>"
+    if isinstance(node.value, Symbol):
+        return repr(node.value)
+    if isinstance(node.value, str):
+        return repr(node.value)
+    return str(node.value)
+
+
+def pretty(g: Graph, max_depth: int = 12) -> str:
+    """An indented tree of *g* from its root; revisits print as ``^n``."""
+    lines: List[str] = []
+    seen: Set[int] = set()
+
+    def walk(node: Node, label: str, depth: int) -> None:
+        prefix = "  " * depth
+        head = f"{prefix}{label}: " if label else prefix
+        if node.nid in seen:
+            lines.append(f"{head}^n{node.nid}")
+            return
+        seen.add(node.nid)
+        lines.append(f"{head}n{node.nid} = {_value_label(node)}")
+        if depth >= max_depth:
+            if g.arcs_from(node):
+                lines.append(f"{prefix}  ...")
+            return
+        for arc_label, target in sorted(g.arcs_from(node).items()):
+            walk(target, arc_label, depth + 1)
+
+    walk(g.root, "", 0)
+    return "\n".join(lines)
+
+
+def to_dot(hg: HGraph, name: str = "hgraph") -> str:
+    """Graphviz DOT for the entire H-graph.
+
+    Each graph becomes a cluster; arcs are solid labelled edges; a node
+    whose value is a subgraph gets a dashed edge to that graph's root.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=box];"]
+    for g in hg.graphs():
+        lines.append(f"  subgraph cluster_g{g.gid} {{")
+        lines.append(f'    label="g{g.gid}";')
+        for node in g.nodes():
+            label = _value_label(node).replace('"', "'")
+            shape = ', shape=ellipse' if isinstance(node.value, Graph) else ""
+            root_mark = ", penwidth=2" if node is g.root else ""
+            lines.append(
+                f'    n{node.nid} [label="n{node.nid}\\n{label}"{shape}{root_mark}];'
+            )
+        for src, arc_label, dst in g.arcs():
+            lines.append(f'    n{src.nid} -> n{dst.nid} [label="{arc_label}"];')
+        lines.append("  }")
+    # hierarchy edges: node -> subgraph root
+    for node in hg.nodes():
+        if isinstance(node.value, Graph):
+            lines.append(
+                f"  n{node.nid} -> n{node.value.root.nid} "
+                f'[style=dashed, label="value"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def summary(hg: HGraph) -> str:
+    """One-line-per-graph overview of an H-graph."""
+    lines = [f"H-graph {hg.name!r}: {hg.node_count()} nodes, "
+             f"{len(hg.graphs())} graphs"]
+    for g in hg.graphs():
+        lines.append(
+            f"  g{g.gid}: root n{g.root.nid}, {len(g)} nodes, "
+            f"{g.arc_count()} arcs"
+        )
+    return "\n".join(lines)

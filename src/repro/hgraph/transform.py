@@ -1,0 +1,105 @@
+"""H-graph transforms: operations on H-graph data objects.
+
+The paper: "Operations (procedures) on the data objects are modeled as
+'H-graph transforms', which are functions defining transformations on
+the H-graph models of data objects.  H-graph transforms may invoke each
+other in the usual manner of subprogram calling hierarchies."
+
+A :class:`Transform` wraps a Python function ``fn(ctx, hg, *args)``;
+``ctx`` is the interpreter's call context (see
+:mod:`repro.hgraph.interpreter`), through which the transform may invoke
+other transforms.  Transforms may declare pre- and post-conditions as
+grammar memberships, which the interpreter checks when verification is
+enabled — this is what "formally specified" buys the design process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import TransformError
+from .grammar import Grammar
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A grammar-membership condition on an argument or the result.
+
+    ``subject`` is an argument index (0-based) or the string ``"result"``.
+    The subject must be a :class:`~repro.hgraph.graph.Graph`; membership
+    is checked at its root against ``symbol`` (grammar start if None).
+    """
+
+    subject: Any
+    grammar: Grammar
+    symbol: Optional[str] = None
+
+    def describe(self) -> str:
+        where = "result" if self.subject == "result" else f"arg[{self.subject}]"
+        sym = self.symbol or self.grammar.start
+        return f"{where} in {self.grammar.name}.{sym}"
+
+
+@dataclass
+class Transform:
+    """A named H-graph transform with optional formal conditions."""
+
+    name: str
+    fn: Callable[..., Any]
+    pre: List[Condition] = field(default_factory=list)
+    post: List[Condition] = field(default_factory=list)
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not callable(self.fn):
+            raise TransformError(f"transform {self.name!r}: fn is not callable")
+
+    def require(self, subject: Any, grammar: Grammar, symbol: Optional[str] = None) -> "Transform":
+        """Add a pre-condition; returns self for chaining."""
+        self.pre.append(Condition(subject, grammar, symbol))
+        return self
+
+    def ensure(self, grammar: Grammar, symbol: Optional[str] = None) -> "Transform":
+        """Add a post-condition on the result; returns self for chaining."""
+        self.post.append(Condition("result", grammar, symbol))
+        return self
+
+
+def transform(
+    name: Optional[str] = None,
+    pre: Sequence[Tuple[Any, Grammar]] = (),
+    post: Sequence[Grammar] = (),
+    doc: str = "",
+) -> Callable[[Callable[..., Any]], Transform]:
+    """Decorator form: ``@transform()`` over ``fn(ctx, hg, *args)``.
+
+    ``pre`` is a sequence of ``(arg_index, grammar)`` pairs, ``post`` a
+    sequence of grammars for the result.
+    """
+
+    def wrap(fn: Callable[..., Any]) -> Transform:
+        t = Transform(name or fn.__name__, fn, doc=doc or (fn.__doc__ or ""))
+        for subject, g in pre:
+            t.require(subject, g)
+        for g in post:
+            t.ensure(g)
+        return t
+
+    return wrap
+
+
+def check_condition(cond: Condition, value: Any) -> None:
+    """Raise :class:`TransformError` if *value* violates *cond*."""
+    from .matcher import Matcher
+
+    if not isinstance(value, Graph):
+        raise TransformError(
+            f"condition {cond.describe()}: subject is not a Graph "
+            f"(got {type(value).__name__})"
+        )
+    report = Matcher(cond.grammar).check(value, symbol=cond.symbol)
+    if not report.ok:
+        detail = "; ".join(report.failures[:3])
+        raise TransformError(f"condition {cond.describe()} violated: {detail}")

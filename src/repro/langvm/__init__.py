@@ -1,0 +1,49 @@
+"""Layer 2 of the FEM-2 design: the numerical analyst's virtual machine.
+
+The high-level parallel language sketched in the paper, embedded in
+Python: tasks with initiate/pause/resume/terminate, windows on arrays,
+forall and pardo sequence control, broadcast, remote procedure calls
+located by window data, and a parallel linear-algebra library.
+"""
+
+from .windows import Window, block, col, row, vec, whole
+from .ownership import check_owner, owner_of
+from .program import Fem2Program, TaskContext
+from .parallel import forall, forall_windows, pardo
+from .broadcast import broadcast, scatter_gather, worker_pool
+from .rpc import remote, remote_map
+from . import linalg
+from .linalg import LINALG_TASKS, ensure_registered
+from .reduce import REDUCE_NODE, ensure_reduce_registered, flat_reduce, tree_reduce
+from .audit import AccessRecord, Conflict, WindowAudit
+
+__all__ = [
+    "Window",
+    "block",
+    "col",
+    "row",
+    "vec",
+    "whole",
+    "check_owner",
+    "owner_of",
+    "Fem2Program",
+    "TaskContext",
+    "forall",
+    "forall_windows",
+    "pardo",
+    "broadcast",
+    "scatter_gather",
+    "worker_pool",
+    "remote",
+    "remote_map",
+    "linalg",
+    "LINALG_TASKS",
+    "ensure_registered",
+    "REDUCE_NODE",
+    "ensure_reduce_registered",
+    "flat_reduce",
+    "tree_reduce",
+    "AccessRecord",
+    "Conflict",
+    "WindowAudit",
+]

@@ -1,0 +1,43 @@
+"""Broadcast and gather patterns over task sets.
+
+"Operations: ... Broadcast data to a set of tasks."  The primitive is
+the :class:`~repro.sysvm.effects.Broadcast` effect; this module adds
+the patterns numerical-analyst programs actually use: broadcasting to a
+worker pool, and the scatter/compute/gather round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence, Tuple
+
+
+def broadcast(ctx, tids: Iterable[int], value: Any):
+    """Send *value* to every task in *tids* (sub-generator)."""
+    yield ctx.broadcast(tids, value)
+
+
+def scatter_gather(
+    ctx,
+    task_type: str,
+    per_task_args: Sequence[Tuple[Any, ...]],
+):
+    """Start one task per argument tuple, wait, return ordered results.
+
+    Unlike broadcast (same value to everyone) this distributes distinct
+    work: the scatter half of the canonical scatter/gather round trip.
+    """
+    tids: List[int] = []
+    for args in per_task_args:
+        sub = yield ctx.initiate(task_type, *args, count=1, index_arg=False)
+        tids.extend(sub)
+    results = yield ctx.wait(tids)
+    return [results[t] for t in tids]
+
+
+def worker_pool(ctx, task_type: str, n: int, args: Tuple[Any, ...] = ()):
+    """Start *n* long-lived workers that will Receive() broadcast work.
+
+    Returns the tids; the caller later broadcasts work items and waits.
+    """
+    tids = yield ctx.initiate(task_type, *args, count=n)
+    return tids

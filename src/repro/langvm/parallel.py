@@ -1,0 +1,85 @@
+"""Sequence control: forall and pardo.
+
+"Sequence control: Forall loops -- do all iterations in parallel if
+possible; Pardo ... end -- do all statements in parallel."
+
+Both are sub-generators used with ``yield from`` inside a task body:
+
+    results = yield from forall(ctx, "chunk", n=8, args=(win,))
+    a, b = yield from pardo(ctx, ("assemble", (k_win,)), ("loads", (f_win,)))
+
+``forall`` initiates *n* replications of one task type (each receives
+its iteration index as the last argument) and waits for all of them,
+returning results in iteration order.  ``pardo`` initiates one task per
+*statement* (task type, args) pair and waits for all, returning results
+in statement order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..errors import LangVMError
+
+
+def forall(
+    ctx,
+    task_type: str,
+    n: int,
+    args: Tuple[Any, ...] = (),
+    cluster: Optional[int] = None,
+):
+    """Run *n* parallel iterations of *task_type*; gather ordered results."""
+    if n < 1:
+        raise LangVMError(f"forall needs at least one iteration, got {n}")
+    tids = yield ctx.initiate(task_type, *args, count=n, cluster=cluster)
+    results = yield ctx.wait(tids)
+    return [results[t] for t in tids]
+
+
+def pardo(ctx, *statements: Tuple[str, Tuple[Any, ...]]):
+    """Run heterogeneous statements in parallel; gather ordered results."""
+    if not statements:
+        raise LangVMError("pardo needs at least one statement")
+    all_tids: List[int] = []
+    for stmt in statements:
+        if len(stmt) == 2:
+            task_type, args = stmt
+            cluster = None
+        elif len(stmt) == 3:
+            task_type, args, cluster = stmt
+        else:
+            raise LangVMError(f"pardo statement must be (type, args[, cluster]): {stmt!r}")
+        tids = yield ctx.initiate(
+            task_type, *args, count=1, cluster=cluster, index_arg=False
+        )
+        all_tids.extend(tids)
+    results = yield ctx.wait(all_tids)
+    return [results[t] for t in all_tids]
+
+
+def forall_windows(
+    ctx,
+    task_type: str,
+    window,
+    n: int,
+    extra_args: Tuple[Any, ...] = (),
+    axis: Optional[int] = None,
+):
+    """Data-parallel forall: partition *window* into <= n bands, run one
+    task per band with its sub-window, gather ordered results.
+
+    The canonical FEM-2 idiom: distribute a window, fan out, fan in.
+    ``axis`` defaults to rows, or columns for single-row (vector) windows.
+    """
+    if axis is None:
+        axis = 1 if window.shape[0] == 1 else 0
+    parts = window.split_rows(n) if axis == 0 else window.split_cols(n)
+    tids: List[int] = []
+    for i, part in enumerate(parts):
+        sub = yield ctx.initiate(
+            task_type, part, *extra_args, i, count=1, index_arg=False
+        )
+        tids.extend(sub)
+    results = yield ctx.wait(tids)
+    return [results[t] for t in tids]

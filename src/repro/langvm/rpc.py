@@ -1,0 +1,32 @@
+"""Remote procedure calls located by window data.
+
+"Remote procedure call - location determined by location of data
+visible in a window."  The effect itself lives in the system VM; this
+module provides the language-level wrapper plus a helper for calling
+one procedure against every partition of a window, each call executing
+where its partition's data lives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+
+def remote(ctx, proc: str, *args: Any, cluster: Optional[int] = None):
+    """Call *proc* where its first window argument's data lives."""
+    result = yield ctx.call(proc, *args, cluster=cluster)
+    return result
+
+
+def remote_map(ctx, proc: str, windows, extra_args: Tuple[Any, ...] = ()):
+    """Call *proc* once per window, sequentially, each at its data.
+
+    Sequential by design: remote calls are synchronous in the paper's
+    model.  For parallel fan-out over partitions use
+    :func:`repro.langvm.parallel.forall_windows`.
+    """
+    results: List[Any] = []
+    for win in windows:
+        r = yield ctx.call(proc, win, *extra_args)
+        results.append(r)
+    return results

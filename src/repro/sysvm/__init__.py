@@ -1,0 +1,119 @@
+"""Layer 3 of the FEM-2 design: the system programmer's virtual machine.
+
+The run-time representation of tasks, their scheduling, the seven
+message types that connect them, and the storage machinery (general
+heap, activation records, code blocks, array store) — everything the
+numerical analyst's VM is implemented with.
+"""
+
+from .messages import (
+    Message,
+    MsgKind,
+    REQUIRED_FIELDS,
+    initiate_task,
+    load_code,
+    pause_notify,
+    remote_call,
+    remote_return,
+    resume_task,
+    terminate_notify,
+)
+from .codec import decode, encode, traffic_class
+from .storage import (
+    ACTIVATION_BASE_WORDS,
+    ARRAY_DESCRIPTOR_WORDS,
+    MESSAGE_HEADER_WORDS,
+    WINDOW_DESCRIPTOR_WORDS,
+    ArrayHandle,
+    DataStore,
+    words_of,
+)
+from .heap import Block, Heap
+from .buddy import BuddyHeap
+from .activation import ActivationRecord, allocate_record, record_size, release_record
+from .code import ClusterCodeStore, CodeBlock, CodeRegistry
+from . import effects
+from .effects import (
+    Broadcast,
+    Compute,
+    CreateArray,
+    Effect,
+    FreeArray,
+    Initiate,
+    Pause,
+    ReadWindow,
+    Receive,
+    RemoteCall,
+    ResumeChild,
+    WaitChildren,
+    WaitPause,
+    WriteWindow,
+)
+from .scheduler import (
+    AnyPEDispatch,
+    DispatchPolicy,
+    ReadyQueue,
+    StaticDispatch,
+    TaskState,
+    TCB,
+)
+from .kernel import Kernel
+from .runtime import PLACEMENTS, Runtime, SimpleContext
+
+__all__ = [
+    "Message",
+    "MsgKind",
+    "REQUIRED_FIELDS",
+    "initiate_task",
+    "load_code",
+    "pause_notify",
+    "remote_call",
+    "remote_return",
+    "resume_task",
+    "terminate_notify",
+    "decode",
+    "encode",
+    "traffic_class",
+    "ACTIVATION_BASE_WORDS",
+    "ARRAY_DESCRIPTOR_WORDS",
+    "MESSAGE_HEADER_WORDS",
+    "WINDOW_DESCRIPTOR_WORDS",
+    "ArrayHandle",
+    "DataStore",
+    "words_of",
+    "Block",
+    "Heap",
+    "BuddyHeap",
+    "ActivationRecord",
+    "allocate_record",
+    "record_size",
+    "release_record",
+    "ClusterCodeStore",
+    "CodeBlock",
+    "CodeRegistry",
+    "effects",
+    "Broadcast",
+    "Compute",
+    "CreateArray",
+    "Effect",
+    "FreeArray",
+    "Initiate",
+    "Pause",
+    "ReadWindow",
+    "Receive",
+    "RemoteCall",
+    "ResumeChild",
+    "WaitChildren",
+    "WaitPause",
+    "WriteWindow",
+    "AnyPEDispatch",
+    "DispatchPolicy",
+    "ReadyQueue",
+    "StaticDispatch",
+    "TaskState",
+    "TCB",
+    "Kernel",
+    "PLACEMENTS",
+    "Runtime",
+    "SimpleContext",
+]

@@ -1,0 +1,79 @@
+"""The per-cluster operating-system kernel.
+
+"Within each cluster, one PE runs the operating system kernel, which
+fields incoming messages and assigns available PE's to process them."
+
+The kernel is a serialized service loop on the cluster's kernel PE.
+Each unit of kernel work — decoding one incoming message, or assigning
+one ready task to a worker PE — occupies the kernel PE for the
+configured number of cycles (``message_fixed_cycles`` and
+``dispatch_cycles``).  Because the loop is serialized, a flooded input
+queue shows up as kernel-PE saturation, which is exactly the effect the
+cluster architecture was designed around.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..hardware.cluster import Cluster
+from ..hardware.pe import PEState
+
+
+class Kernel:
+    """Message-fielding and dispatch loop for one cluster."""
+
+    def __init__(self, runtime, cluster: Cluster) -> None:
+        self.runtime = runtime
+        self.cluster = cluster
+        self._active = False
+        cluster.on_message = lambda _c: self.kick()
+
+    def kick(self) -> None:
+        """Wake the kernel loop if it has work and is not already busy."""
+        if self._active or self.cluster.failed:
+            return
+        if self.cluster.kernel_pe.state is PEState.FAULTY:
+            return
+        work = self._next_work()
+        if work is None:
+            return
+        self._active = True
+        self._start(work)
+
+    def _next_work(self) -> Optional[Tuple]:
+        if self.cluster.input_queue:
+            return ("msg", self.cluster.dequeue())
+        ready = self.runtime.ready[self.cluster.cluster_id]
+        pick = ready.pick(self.cluster, self.runtime.dispatch_policy)
+        if pick is not None:
+            return ("dispatch", pick)
+        return None
+
+    def _start(self, work: Tuple) -> None:
+        cfg = self.runtime.machine.config
+        if work[0] == "msg":
+            msg = work[1]
+            self.cluster.kernel_pe.execute(
+                cfg.message_fixed_cycles, lambda: self._finish_msg(msg)
+            )
+        else:
+            tcb, pe = work[1]
+            self.cluster.kernel_pe.execute(
+                cfg.dispatch_cycles, lambda: self._finish_dispatch(tcb, pe)
+            )
+
+    def _finish_msg(self, msg) -> None:
+        self._active = False
+        self.runtime.handle_message(self.cluster.cluster_id, msg)
+        self.kick()
+
+    def _finish_dispatch(self, tcb, pe) -> None:
+        self._active = False
+        # the PE was idle when picked and the kernel is serialized, but a
+        # fault may have hit it during the dispatch burst
+        if pe.is_available():
+            self.runtime.start_on_pe(tcb, pe)
+        else:
+            self.runtime.requeue(tcb)
+        self.kick()

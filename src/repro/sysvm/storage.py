@@ -1,0 +1,143 @@
+"""Storage representations for scalars, arrays, and descriptors.
+
+The system programmer's VM fixes "storage representations for scalars,
+arrays, etc."  Sizes are measured in *words*; one word holds one
+floating-point value, integer, or pointer (the FEM's 32-bit heritage,
+kept simple).  :func:`words_of` is the single sizing rule used by the
+message codec, the heap, and the storage-requirements estimates, so E1
+measures and estimates in the same units.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SysVMError
+
+#: Fixed overhead of any array: base pointer, rank, dims, dtype tag.
+ARRAY_DESCRIPTOR_WORDS = 6
+#: A window descriptor: array id, kind tag, 2x(offset, extent), owner.
+WINDOW_DESCRIPTOR_WORDS = 8
+#: Message header: kind, id, src/dst task, src/dst cluster, size, flags.
+MESSAGE_HEADER_WORDS = 8
+#: Activation record overhead beyond locals: links, state, code pointer.
+ACTIVATION_BASE_WORDS = 16
+
+
+def words_of(value: Any) -> int:
+    """Words needed to store or transmit *value*.
+
+    Scalars cost one word; strings pack four characters per word;
+    arrays cost their element count plus a descriptor; containers cost
+    the sum of their parts plus one length word.
+    """
+    if value is None:
+        return 1
+    if isinstance(value, (bool, int, float, complex)):
+        return 2 if isinstance(value, complex) else 1
+    if isinstance(value, str):
+        return 1 + (len(value) + 3) // 4
+    if isinstance(value, np.ndarray):
+        return ARRAY_DESCRIPTOR_WORDS + int(value.size)
+    if isinstance(value, np.generic):
+        return 1
+    if isinstance(value, (list, tuple)):
+        return 1 + sum(words_of(v) for v in value)
+    if isinstance(value, dict):
+        return 1 + sum(words_of(k) + words_of(v) for k, v in value.items())
+    if hasattr(value, "size_words"):
+        return int(value.size_words())
+    raise SysVMError(f"cannot size value of type {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """A descriptor for an array resident in one cluster's memory.
+
+    The data itself ("owned by a single task") lives in the
+    :class:`DataStore`; everything off-cluster sees only this handle and
+    must reach the data through windows.
+    """
+
+    array_id: int
+    shape: Tuple[int, ...]
+    dtype: str
+    cluster: int
+    owner_task: Optional[int]
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    def size_words(self) -> int:
+        """Transmission/storage size of the *handle* (not the data)."""
+        return ARRAY_DESCRIPTOR_WORDS
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArrayHandle(#{self.array_id} {self.dtype}{list(self.shape)} @c{self.cluster})"
+
+
+class DataStore:
+    """Cluster-resident array storage with capacity accounting.
+
+    ``register`` reserves words in the owning cluster's shared memory;
+    ``drop`` releases them.  Access checks live at the language layer
+    (:mod:`repro.langvm.ownership`); the store itself is the physical
+    model.
+    """
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self._arrays: Dict[int, np.ndarray] = {}
+        self._handles: Dict[int, ArrayHandle] = {}
+        self._ids = itertools.count(1)
+
+    def register(
+        self, data: np.ndarray, cluster: int, owner_task: Optional[int] = None
+    ) -> ArrayHandle:
+        data = np.asarray(data)
+        aid = next(self._ids)
+        handle = ArrayHandle(aid, data.shape, str(data.dtype), cluster, owner_task)
+        self.machine.cluster(cluster).memory.reserve(
+            ARRAY_DESCRIPTOR_WORDS + int(data.size), tag="arrays"
+        )
+        self._arrays[aid] = data
+        self._handles[aid] = handle
+        return handle
+
+    def raw(self, handle: ArrayHandle) -> np.ndarray:
+        """The backing array.  Physical access only — callers above the
+        system VM must go through windows."""
+        try:
+            return self._arrays[handle.array_id]
+        except KeyError:
+            raise SysVMError(f"stale array handle #{handle.array_id}") from None
+
+    def drop(self, handle: ArrayHandle) -> None:
+        arr = self.raw(handle)
+        self.machine.cluster(handle.cluster).memory.release(
+            ARRAY_DESCRIPTOR_WORDS + int(arr.size), tag="arrays"
+        )
+        del self._arrays[handle.array_id]
+        del self._handles[handle.array_id]
+
+    def drop_owned_by(self, task_id: int) -> int:
+        """Release every array owned by a task ("data lifetime = lifetime
+        of owner task").  Returns the number of arrays dropped."""
+        doomed = [h for h in self._handles.values() if h.owner_task == task_id]
+        for h in doomed:
+            self.drop(h)
+        return len(doomed)
+
+    def live_handles(self) -> Tuple[ArrayHandle, ...]:
+        return tuple(self._handles.values())
+
+    def __contains__(self, handle: ArrayHandle) -> bool:
+        return handle.array_id in self._arrays

@@ -1,0 +1,123 @@
+"""Tests for communication-pattern analysis over traced runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    burstiness,
+    communication_matrix,
+    hub_score,
+    kind_timeline,
+    pattern_report,
+    traffic_timeline,
+)
+from repro.bench import plane_stress_cantilever
+from repro.errors import AnalysisError
+from repro.fem import parallel_cg_solve
+from repro.hardware import MachineConfig, TraceRecorder
+from repro.langvm import Fem2Program
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    problem = plane_stress_cantilever(6)
+    trace = TraceRecorder(capacity=200_000)
+    cfg = MachineConfig(n_clusters=4, pes_per_cluster=4,
+                        memory_words_per_cluster=16_000_000)
+    prog = Fem2Program(cfg, trace=trace)
+    parallel_cg_solve(prog, problem.mesh, problem.material,
+                      problem.constraints, problem.loads,
+                      n_workers=4, tol=1e-8)
+    return trace, prog
+
+
+class TestTimeline:
+    def test_bins_cover_all_messages(self, traced_run):
+        trace, prog = traced_run
+        timeline = traffic_timeline(trace, bins=16)
+        assert len(timeline) == 16
+        assert sum(b.messages for b in timeline) == len(trace.events("send"))
+        assert sum(b.words for b in timeline) == int(prog.metrics.get("comm.words"))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(AnalysisError):
+            traffic_timeline(TraceRecorder())
+
+    def test_bad_bins_rejected(self, traced_run):
+        trace, _ = traced_run
+        with pytest.raises(AnalysisError):
+            traffic_timeline(trace, bins=0)
+
+    def test_burstiness_at_least_uniform(self, traced_run):
+        trace, _ = traced_run
+        assert burstiness(trace) >= 1.0
+
+
+class TestMatrix:
+    def test_matrix_totals_match_metrics(self, traced_run):
+        trace, prog = traced_run
+        m = communication_matrix(trace, 4)
+        assert m.sum() == int(prog.metrics.get("comm.words"))
+        # nothing sends to itself off-matrix
+        assert m.shape == (4, 4)
+
+    def test_cg_pattern_is_hub_and_spoke(self, traced_run):
+        """The CG driver's traffic all touches the root cluster — the
+        pattern knowledge that made A2's star finding make sense."""
+        trace, _ = traced_run
+        m = communication_matrix(trace, 4)
+        assert hub_score(m) == pytest.approx(1.0)
+        # no worker-to-worker traffic
+        for i in range(1, 4):
+            for j in range(1, 4):
+                if i != j:
+                    assert m[i, j] == 0
+
+    def test_hub_score_of_uniform_matrix(self):
+        m = np.ones((4, 4), dtype=int) - np.eye(4, dtype=int)
+        assert hub_score(m) < 0.6
+
+    def test_hub_score_empty(self):
+        assert hub_score(np.zeros((3, 3), dtype=int)) == 0.0
+
+
+class TestKindTimeline:
+    def test_phases_visible(self, traced_run):
+        """Setup kinds (initiate/load_code) front-load; iteration kinds
+        (remote_call, resume) spread across the run."""
+        trace, _ = traced_run
+        kt = kind_timeline(trace, bins=10)
+        assert sum(kt["initiate_task"][:2]) == sum(kt["initiate_task"])
+        assert sum(1 for c in kt["remote_call"] if c > 0) >= 5
+
+    def test_report_renders(self, traced_run):
+        trace, _ = traced_run
+        text = pattern_report(trace, 4)
+        assert "hub score" in text and "c0:" in text
+
+
+class TestTaskSpans:
+    def test_spans_cover_all_completed_tasks(self, traced_run):
+        from repro.analysis import concurrency_profile, task_spans
+
+        trace, prog = traced_run
+        spans = task_spans(trace)
+        assert len(spans) == int(prog.metrics.get("task.completed"))
+        for _tid, _tt, t0, t1 in spans:
+            assert t0 <= t1
+
+    def test_concurrency_profile_shows_parallel_phase(self, traced_run):
+        from repro.analysis import concurrency_profile
+
+        trace, _ = traced_run
+        profile = concurrency_profile(trace, bins=10)
+        # the CG run keeps root + 4 workers alive through the middle
+        assert max(profile) >= 5
+
+    def test_empty_trace_rejected_for_spans(self):
+        from repro.analysis import concurrency_profile
+        from repro.errors import AnalysisError
+        from repro.hardware import TraceRecorder
+
+        with pytest.raises(AnalysisError):
+            concurrency_profile(TraceRecorder())

@@ -1,0 +1,95 @@
+"""Validation of the critical-path elapsed-time model against the
+simulator — the 'time' half of ref [8]'s estimates."""
+
+import pytest
+
+from repro.analysis import estimate_cg_elapsed
+from repro.bench import plane_stress_cantilever
+from repro.fem import parallel_cg_solve, partition_strips
+from repro.hardware import MachineConfig
+from repro.langvm import Fem2Program
+
+
+def run(n, clusters, workers, topology="complete"):
+    prob = plane_stress_cantilever(n)
+    cfg = MachineConfig(n_clusters=clusters, pes_per_cluster=5,
+                        memory_words_per_cluster=32_000_000, topology=topology)
+    prog = Fem2Program(cfg)
+    subs = partition_strips(prob.mesh, workers)
+    info = parallel_cg_solve(prog, prob.mesh, prob.material,
+                             prob.constraints, prob.loads, subs=subs, tol=1e-8)
+    est = estimate_cg_elapsed(prob.mesh, subs, cfg, info.iterations)
+    return info, est
+
+
+@pytest.mark.parametrize("n,clusters,workers", [
+    (8, 2, 2),
+    (8, 4, 4),
+    (12, 1, 2),
+])
+def test_elapsed_prediction_within_five_percent(n, clusters, workers):
+    info, est = run(n, clusters, workers)
+    ratio = est["total"] / info.elapsed_cycles
+    assert 0.9 < ratio < 1.1, f"ratio {ratio:.3f}"
+
+
+def test_phase_breakdown_sensible():
+    info, est = run(8, 2, 2)
+    assert est["setup"] > 0
+    assert est["per_iteration"] > 0
+    assert est["total"] == est["setup"] + info.iterations * est["per_iteration"]
+
+
+def test_prediction_tracks_topology():
+    """A ring costs more hops than a complete graph; the model knows."""
+    _, est_complete = run(8, 4, 4, topology="complete")
+    _, est_ring = run(8, 4, 4, topology="ring")
+    assert est_ring["per_iteration"] > est_complete["per_iteration"]
+
+
+def test_prediction_usable_before_running():
+    """The design-method use case: predict before committing hardware.
+
+    One worker per cluster keeps the run in the contention-free regime
+    the model covers (it does not model PE queueing).
+    """
+    prob = plane_stress_cantilever(16)
+    predictions = {}
+    for clusters in (1, 2, 4, 8):
+        cfg = MachineConfig(n_clusters=clusters, pes_per_cluster=5,
+                            memory_words_per_cluster=32_000_000)
+        subs = partition_strips(prob.mesh, max(2, clusters))
+        predictions[clusters] = estimate_cg_elapsed(
+            prob.mesh, subs, cfg, iterations=80
+        )["total"]
+    # more clusters (with matching partitioning) predict less time ...
+    assert predictions[8] < predictions[4] < predictions[2]
+    # ... except 1 -> 2, where the work split is identical (2 subdomains
+    # both ways) and going off-cluster only adds communication
+    assert predictions[2] < 1.1 * predictions[1]
+
+
+def test_rank_configurations_prediction_matches_measured_order():
+    """Predict the ranking, then verify it by actually running — the
+    design method's 'simulate before you build' loop closed."""
+    from repro.analysis import rank_configurations
+
+    prob = plane_stress_cantilever(10)
+    candidates = [
+        MachineConfig(n_clusters=c, pes_per_cluster=5,
+                      memory_words_per_cluster=32_000_000)
+        for c in (2, 4, 8)
+    ]
+    ranked = rank_configurations(prob.mesh, candidates, iterations=60)
+    predicted_order = [cfg.n_clusters for cfg, _ in ranked]
+
+    measured = {}
+    for cfg in candidates:
+        prog = Fem2Program(cfg)
+        subs = partition_strips(prob.mesh, max(2, cfg.n_clusters))
+        info = parallel_cg_solve(prog, prob.mesh, prob.material,
+                                 prob.constraints, prob.loads,
+                                 subs=subs, tol=1e-8)
+        measured[cfg.n_clusters] = info.elapsed_cycles
+    measured_order = sorted(measured, key=measured.get)
+    assert predicted_order == measured_order

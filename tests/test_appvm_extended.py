@@ -1,0 +1,161 @@
+"""Tests for the extended workstation operations: modal analysis, mesh
+quality, gravity loads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AppVMError, CommandError
+from repro.appvm import CommandInterpreter, WorkstationSession
+
+
+def plate_session():
+    s = WorkstationSession()
+    s.define_structure("plate")
+    s.set_material(e=70e9, nu=0.3, thickness=0.01, density=2700.0)
+    s.generate_grid(4, 2, 2.0, 1.0)
+    s.fix_line(x=0.0)
+    return s
+
+
+class TestModalSession:
+    def test_modal_returns_ascending_frequencies(self):
+        s = plate_session()
+        r = s.modal(n_modes=3)
+        assert r.converged
+        assert len(r.frequencies) == 3
+        assert np.all(np.diff(r.frequencies) >= -1e-9)
+        assert r.frequencies[0] > 0
+
+    def test_modal_stored_in_workspace(self):
+        s = plate_session()
+        s.modal(n_modes=2)
+        assert "modal:plate" in s.workspace
+
+    def test_modal_requires_supports(self):
+        s = WorkstationSession()
+        s.define_structure("m")
+        s.generate_grid(2, 2)
+        with pytest.raises(AppVMError):
+            s.modal()
+
+
+class TestQualityAndGravity:
+    def test_quality_summary(self):
+        s = plate_session()
+        q = s.check_quality()
+        assert q["elements"] == 8
+        assert q["worst_aspect"] == pytest.approx(1.0)
+
+    def test_gravity_adds_self_weight(self):
+        s = plate_session()
+        s.define_load_set("dead")
+        s.set_gravity("dead", 0.0, -9.81)
+        result = s.solve("dead")
+        assert result.max_displacement() > 0
+        # self-weight pulls the free edge downward
+        mesh = s.current.mesh
+        tip = int(mesh.nodes_on(x=2.0, y=0.5)[0])
+        assert result.u[mesh.dof(tip, 1)] < 0
+
+
+class TestNewCommands:
+    def test_frequencies_command(self):
+        ci = CommandInterpreter()
+        ci.run_script(
+            """
+            new plate
+            material e=70e9 nu=0.3 thickness=0.01 density=2700
+            grid 4 2 2.0 1.0
+            fix x=0
+            """
+        )
+        out = ci.execute("frequencies 3")
+        assert "mode 1" in out and "Hz" in out and "lumped" in out
+        out2 = ci.execute("frequencies 2 consistent")
+        assert "consistent" in out2
+
+    def test_quality_command(self):
+        ci = CommandInterpreter()
+        ci.execute("new m")
+        ci.execute("grid 3 3")
+        out = ci.execute("quality")
+        assert "worst aspect" in out
+
+    def test_gravity_command(self):
+        ci = CommandInterpreter()
+        ci.run_script(
+            """
+            new m
+            material e=70e9 nu=0.3 thickness=0.01
+            grid 3 2 1.5 1.0
+            fix x=0
+            loadset dead
+            gravity dead 0 -9.81
+            """
+        )
+        out = ci.execute("solve dead")
+        assert "max |u|" in out
+
+    def test_gravity_usage_error(self):
+        ci = CommandInterpreter()
+        ci.execute("new m")
+        ci.execute("grid 2 2")
+        ci.execute("loadset g")
+        with pytest.raises(CommandError):
+            ci.execute("gravity g 1")
+
+    def test_help_mentions_new_commands(self):
+        out = CommandInterpreter().execute("help")
+        assert "frequencies" in out and "quality" in out and "gravity" in out
+
+
+class TestTransient:
+    def test_session_transient_step(self):
+        s = plate_session()
+        s.define_load_set("shock")
+        s.add_line_load("shock", 1, -1e4, x=2.0)
+        # cover a full fundamental period (~5.5 ms for this plate)
+        r = s.transient("shock", dt=5e-5, n_steps=150)
+        assert r.peak_displacement() > 0
+        assert "transient:plate:shock" in s.workspace
+        # a step load overshoots the static deflection (up to ~2x)
+        static = s.solve("shock").max_displacement()
+        assert 1.2 * static < r.peak_displacement() < 2.2 * static
+
+    def test_session_transient_sine_validation(self):
+        s = plate_session()
+        s.define_load_set("buzz")
+        s.add_line_load("buzz", 1, -1e3, x=2.0)
+        with pytest.raises(AppVMError):
+            s.transient("buzz", dt=1e-5, n_steps=5, excitation="sine")
+        with pytest.raises(AppVMError):
+            s.transient("buzz", dt=1e-5, n_steps=5, excitation="square")
+        r = s.transient("buzz", dt=1e-5, n_steps=20, excitation="sine",
+                        frequency_hz=100.0)
+        assert len(r.times) == 21
+
+    def test_transient_command(self):
+        ci = CommandInterpreter()
+        ci.run_script(
+            """
+            new m
+            material e=70e9 nu=0.3 thickness=0.01 density=2700
+            grid 3 2 1.5 1.0
+            fix x=0
+            loadset shock
+            lineload shock x=1.5 fy -1e4
+            """
+        )
+        out = ci.execute("transient shock 1e-5 40")
+        assert "peak |u|" in out
+        out2 = ci.execute("transient shock 1e-5 40 sine 200")
+        assert "sine" in out2
+
+    def test_transient_command_usage(self):
+        ci = CommandInterpreter()
+        ci.execute("new m")
+        ci.execute("grid 2 2")
+        with pytest.raises(CommandError):
+            ci.execute("transient a 1e-5")
+        with pytest.raises(CommandError):
+            ci.execute("transient a 1e-5 10 square 3")

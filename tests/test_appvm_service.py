@@ -1,0 +1,82 @@
+"""Tests for the multi-user machine service: concurrent jobs on one
+simulated FEM-2."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AppVMError
+from repro.appvm import MachineService, StructureModel
+from repro.fem import LoadSet, Material, rect_grid, static_solve
+from repro.hardware import MachineConfig
+
+
+def make_model(name, nx=5, ny=2, load=-1e4):
+    model = StructureModel(name, material=Material(e=70e9, nu=0.3, thickness=0.01))
+    model.set_mesh(rect_grid(nx, ny, 2.0, 1.0))
+    model.constraints.fix_nodes(model.mesh.nodes_on(x=0.0))
+    ls = LoadSet("case")
+    ls.add_nodal_many(model.mesh.nodes_on(x=2.0), 1, load)
+    model.load_sets["case"] = ls
+    return model
+
+
+def make_service():
+    return MachineService(
+        MachineConfig(n_clusters=4, pes_per_cluster=5,
+                      memory_words_per_cluster=16_000_000)
+    )
+
+
+class TestMachineService:
+    def test_concurrent_jobs_all_correct(self):
+        service = make_service()
+        models = {u: make_model(f"{u}_m", load=-1e4 * (i + 1))
+                  for i, u in enumerate(("alice", "bob", "carol"))}
+        for user, model in models.items():
+            service.submit(user, model, "case")
+        assert service.pending_count == 3
+        results = service.run_batch()
+        assert set(results) == {"alice", "bob", "carol"}
+        for user, model in models.items():
+            ref = static_solve(model.mesh, model.material, model.constraints,
+                               model.load_sets["case"])
+            got = results[user]
+            assert np.allclose(got.u, ref.u, atol=1e-6 * abs(ref.u).max())
+            assert got.elapsed_cycles > 0
+        assert service.pending_count == 0
+        assert service.completed_batches == 1
+
+    def test_concurrency_beats_serial(self):
+        """Three jobs on one machine overlap: faster than 3x one job."""
+
+        def batch_cycles(n_jobs):
+            service = make_service()
+            for i in range(n_jobs):
+                service.submit(f"u{i}", make_model(f"m{i}"), "case")
+            service.run_batch()
+            return service.program.now
+
+        one = batch_cycles(1)
+        three = batch_cycles(3)
+        assert three < 2.2 * one
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(AppVMError):
+            make_service().run_batch()
+
+    def test_machine_report(self):
+        service = make_service()
+        service.submit("u", make_model("m"), "case")
+        service.run_batch()
+        report = service.machine_report()
+        assert report["elapsed_cycles"] > 0
+        assert report["tasks"] >= 3
+
+    def test_successive_batches(self):
+        service = make_service()
+        service.submit("u", make_model("m1"), "case")
+        r1 = service.run_batch()
+        service.submit("u", make_model("m2", load=-2e4), "case")
+        r2 = service.run_batch()
+        assert r2["u"].max_displacement() > r1["u"].max_displacement()
+        assert service.completed_batches == 2

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion and prints the
+landmarks its docstring promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+LANDMARKS = {
+    "quickstart.py": ["solved tip", "machine activity", "elapsed"],
+    "parallel_program.py": ["power iteration", "relative error", "forall over 16 chunks"],
+    "substructure_analysis.py": ["FEM-2 substructure", "pauses", "broadcasts"],
+    "design_method_walkthrough.py": [
+        "refinement check: coverage 100%",
+        "design-order study",
+        "converged: True",
+    ],
+    "fault_tolerant_run.py": ["healthy workers", "after cluster 1 fails"],
+    "multiuser_workstation.py": ["shared database", "CG iterations"],
+    "machine_study.py": [
+        "predicted ranking",
+        "verification run on the winner",
+        "hub score",
+    ],
+}
+
+
+def test_every_example_has_a_smoke_test():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(LANDMARKS)
+
+
+@pytest.mark.parametrize("script", sorted(LANDMARKS))
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for landmark in LANDMARKS[script]:
+        assert landmark in proc.stdout, (
+            f"{script}: expected {landmark!r} in output:\n{proc.stdout[-2000:]}"
+        )

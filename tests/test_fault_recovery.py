@@ -1,0 +1,98 @@
+"""Tests for reconfiguration-driven fault recovery in the runtime."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.hardware import FaultInjector, Machine, MachineConfig, PEState
+from repro.langvm import Fem2Program, forall
+
+
+def make_program(n_clusters=2, pes=4):
+    cfg = MachineConfig(n_clusters=n_clusters, pes_per_cluster=pes,
+                        memory_words_per_cluster=2_000_000)
+    prog = Fem2Program(cfg)
+    injector = FaultInjector(prog.machine, reconfigure=True, runtime=prog.runtime)
+    return prog, injector
+
+
+def farm(prog, n=12, cycles=10_000):
+    @prog.task()
+    def work(ctx, index):
+        yield ctx.compute(cycles=cycles)
+        return index
+
+    @prog.task()
+    def driver(ctx):
+        return (yield from forall(ctx, "work", n=n))
+
+    return prog.run("driver", cluster=0)
+
+
+class TestPEFailureRecovery:
+    def test_interrupted_task_restarts_and_farm_completes(self):
+        prog, injector = make_program()
+        injector.schedule_pe_failure(5_000, 0, 1)
+        results = farm(prog)
+        assert results == list(range(12))
+        assert prog.metrics.get("fault.task_restarts") >= 1
+
+    def test_idle_pe_failure_harmless(self):
+        prog, injector = make_program()
+        injector.schedule_pe_failure(1, 1, 3)
+        assert farm(prog, n=4) == [0, 1, 2, 3]
+        assert prog.metrics.get("fault.task_restarts") == 0
+
+    def test_throughput_degrades_with_failures(self):
+        def elapsed(n_faults):
+            prog, injector = make_program(n_clusters=2, pes=4)
+            for i in range(n_faults):
+                injector.schedule_pe_failure(100 + i, i % 2, 1 + i % 3)
+            farm(prog, n=24)
+            return prog.now
+
+        assert elapsed(0) < elapsed(4)
+
+    def test_all_workers_failed_leaves_farm_stuck(self):
+        prog, injector = make_program(n_clusters=1, pes=3)
+        injector.schedule_pe_failure(5_000, 0, 1)
+        injector.schedule_pe_failure(5_001, 0, 2)
+        with pytest.raises(SchedulingError):
+            farm(prog)
+
+
+class TestClusterFailureRecovery:
+    def test_lost_children_reported_to_parent(self):
+        prog, injector = make_program(n_clusters=2, pes=4)
+
+        @prog.task()
+        def work(ctx, index):
+            yield ctx.compute(cycles=50_000)
+            return index
+
+        @prog.task()
+        def driver(ctx):
+            tids = yield ctx.initiate("work", count=4)
+            results = yield ctx.wait(tids)
+            return sorted(
+                ("lost" if isinstance(r, tuple) else r for r in results.values()),
+                key=str,
+            )
+
+        injector.schedule_cluster_failure(10_000, 1)
+        results = prog.run("driver", cluster=0)
+        assert "lost" in results            # cluster-1 children were lost
+        assert any(isinstance(r, int) for r in results)  # cluster-0 survived
+        assert prog.metrics.get("fault.tasks_lost") >= 1
+
+    def test_root_task_lost_recorded(self):
+        prog, injector = make_program(n_clusters=2, pes=4)
+
+        @prog.task()
+        def slow(ctx):
+            yield ctx.compute(cycles=100_000)
+            return "done"
+
+        tid = prog.start("slow", cluster=1)
+        injector.schedule_cluster_failure(5_000, 1)
+        results = prog.runtime.run()
+        assert results[tid][0] == "__error__"

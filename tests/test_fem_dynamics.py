@@ -1,0 +1,123 @@
+"""Tests for Newmark transient dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.fem import (
+    Constraints,
+    Material,
+    Mesh,
+    assemble_mass,
+    assemble_stiffness,
+    cantilever_frame,
+    energy_history,
+    natural_frequencies,
+    newmark_transient,
+    rect_grid,
+)
+
+MAT = Material(e=210e9, nu=0.3, density=7850.0, area=1e-3, inertia=1e-8,
+               thickness=0.01)
+
+
+def sdof_like_bar():
+    """A two-node axial bar: effectively one dynamic DOF."""
+    mesh = Mesh(np.array([[0.0, 0.0], [1.0, 0.0]]))
+    mesh.add_elements("bar2d", [[0, 1]])
+    c = Constraints(mesh).fix(0)
+    c.prescribe(1, 1, 0.0)  # no transverse motion
+    return mesh, c
+
+
+class TestSDOF:
+    def test_free_vibration_frequency(self):
+        """Release from an initial displacement: the response oscillates
+        at omega = sqrt(k/m) with the analytic period."""
+        mesh, c = sdof_like_bar()
+        k_axial = MAT.e * MAT.area / 1.0
+        m_lumped = MAT.density * MAT.area * 1.0 / 2.0  # half bar at node 1
+        omega = np.sqrt(k_axial / m_lumped)
+        period = 2 * np.pi / omega
+        dt = period / 200
+        u0 = np.zeros(mesh.n_dofs)
+        x0 = 1e-4
+        u0[mesh.dof(1, 0)] = x0
+        r = newmark_transient(mesh, MAT, c, lambda t: np.zeros(mesh.n_dofs),
+                              dt=dt, n_steps=400, u0=u0)
+        x = r.displacement_at(mesh, 1, 0)
+        assert x[0] == pytest.approx(x0)
+        # after one full period the mass is back near its start
+        per_steps = int(round(period / dt))
+        assert x[per_steps] == pytest.approx(x0, rel=5e-3)
+        # amplitude bounded (no numerical damping with gamma = 1/2)
+        assert np.abs(x).max() <= x0 * 1.001
+
+    def test_static_limit(self):
+        """A slowly-applied constant load converges to the static answer."""
+        mesh, c = sdof_like_bar()
+        p = 1e4
+        f = np.zeros(mesh.n_dofs)
+        f[mesh.dof(1, 0)] = p
+        k_axial = MAT.e * MAT.area
+        u_static = p / k_axial
+        # heavy Rayleigh damping kills the transient
+        r = newmark_transient(mesh, MAT, c, lambda t: f, dt=1e-5,
+                              n_steps=4000, rayleigh=(500.0, 1e-5))
+        x = r.displacement_at(mesh, 1, 0)
+        assert x[-1] == pytest.approx(u_static, rel=1e-2)
+
+
+class TestEnergyAndStability:
+    def test_energy_conserved_undamped(self):
+        mesh = rect_grid(3, 2, 1.0, 0.5)
+        c = Constraints(mesh).fix_nodes(mesh.nodes_on(x=0.0))
+        free = c.free_dofs
+        u0 = np.zeros(mesh.n_dofs)
+        for node in mesh.nodes_on(x=1.0):
+            u0[mesh.dof(node, 1)] = -1e-5
+        r = newmark_transient(mesh, MAT, c, lambda t: np.zeros(mesh.n_dofs),
+                              dt=2e-6, n_steps=300, u0=u0)
+        k = assemble_stiffness(mesh, MAT, fmt="dense")[np.ix_(free, free)]
+        m = assemble_mass(mesh, MAT, fmt="dense")[np.ix_(free, free)]
+        e = energy_history(r, k, m)
+        assert e[0] > 0
+        assert np.allclose(e, e[0], rtol=1e-6)
+
+    def test_resonant_forcing_grows(self):
+        """Forcing at the fundamental frequency pumps energy in."""
+        mesh = cantilever_frame(4, 1.0)
+        c = Constraints(mesh).fix(0)
+        modal = natural_frequencies(mesh, MAT, c, n_modes=1, lumped=True)
+        omega = modal.omega[0]
+        tip = mesh.n_nodes - 1
+
+        def forcing(t):
+            f = np.zeros(mesh.n_dofs)
+            f[mesh.dof(tip, 1)] = 10.0 * np.sin(omega * t)
+            return f
+
+        period = 2 * np.pi / omega
+        r = newmark_transient(mesh, MAT, c, forcing, dt=period / 40,
+                              n_steps=400)
+        x = np.abs(r.displacement_at(mesh, tip, 1))
+        # amplitude after 10 cycles far exceeds the first cycle's
+        assert x[-100:].max() > 5 * x[:40].max()
+
+    def test_parameter_validation(self):
+        mesh, c = sdof_like_bar()
+        zero_f = lambda t: np.zeros(mesh.n_dofs)
+        with pytest.raises(SolverError):
+            newmark_transient(mesh, MAT, c, zero_f, dt=0.0, n_steps=10)
+        with pytest.raises(SolverError):
+            newmark_transient(mesh, MAT, c, zero_f, dt=1e-5, n_steps=0)
+        with pytest.raises(SolverError):
+            newmark_transient(mesh, MAT, c, zero_f, dt=1e-5, n_steps=10,
+                              beta=0.0)
+
+    def test_fully_fixed_rejected(self):
+        mesh, _ = sdof_like_bar()
+        c = Constraints(mesh).fix(0).fix(1)
+        with pytest.raises(SolverError):
+            newmark_transient(mesh, MAT, c, lambda t: np.zeros(mesh.n_dofs),
+                              dt=1e-5, n_steps=5)

@@ -1,0 +1,201 @@
+"""Tests for mass matrices, modal analysis, and mesh quality."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.errors import FEMError, SolverError
+from repro.fem import (
+    Constraints,
+    Material,
+    Mesh,
+    assemble_mass,
+    cantilever_frame,
+    element_mass,
+    mesh_quality,
+    acceptable,
+    element_quality,
+    natural_frequencies,
+    rayleigh_quotient,
+    rect_grid,
+    subspace_eigensolve,
+    total_mass,
+)
+
+MAT = Material(e=210e9, nu=0.3, density=7850.0, area=1e-3, inertia=1e-8,
+               thickness=0.01)
+
+
+class TestElementMass:
+    def test_bar_lumped_mass_conserved(self):
+        coords = np.array([[[0.0, 0.0], [2.0, 0.0]]])
+        m = element_mass("bar2d", coords, MAT, lumped=True)[0]
+        total = MAT.density * MAT.area * 2.0
+        assert np.trace(m[0::2, 0::2]).sum() + 0 == pytest.approx(total)
+        assert np.allclose(m, np.diag(np.diag(m)))
+
+    def test_bar_consistent_mass_conserved(self):
+        coords = np.array([[[0.0, 0.0], [3.0, 0.0]]])
+        m = element_mass("bar2d", coords, MAT, lumped=False)[0]
+        total = MAT.density * MAT.area * 3.0
+        ones_x = np.array([1.0, 0.0, 1.0, 0.0])
+        assert ones_x @ m @ ones_x == pytest.approx(total)
+
+    def test_tri_mass_conserved(self):
+        coords = np.array([[[0.0, 0.0], [2.0, 0.0], [0.0, 2.0]]])
+        area = 2.0
+        for lumped in (True, False):
+            m = element_mass("tri3", coords, MAT, lumped=lumped)[0]
+            ones_x = np.array([1.0, 0, 1, 0, 1, 0])
+            total = MAT.density * MAT.thickness * area
+            assert ones_x @ m @ ones_x == pytest.approx(total)
+
+    def test_quad_mass_conserved(self):
+        coords = np.array([[[0.0, 0.0], [2.0, 0.0], [2.0, 1.0], [0.0, 1.0]]])
+        for lumped in (True, False):
+            m = element_mass("quad4", coords, MAT, lumped=lumped)[0]
+            ones_x = np.zeros(8)
+            ones_x[0::2] = 1.0
+            total = MAT.density * MAT.thickness * 2.0
+            assert ones_x @ m @ ones_x == pytest.approx(total)
+
+    def test_beam_consistent_symmetric_positive(self):
+        coords = np.array([[[0.0, 0.0], [1.5, 0.0]]])
+        m = element_mass("beam2d", coords, MAT, lumped=False)[0]
+        assert np.allclose(m, m.T)
+        assert np.linalg.eigvalsh(m).min() > 0
+
+    def test_total_mass(self):
+        mesh = rect_grid(4, 2, 2.0, 1.0)
+        expected = MAT.density * MAT.thickness * 2.0 * 1.0
+        assert total_mass(mesh, MAT) == pytest.approx(expected)
+
+
+class TestSubspaceEigensolve:
+    def test_matches_scipy_on_random_spd_pencil(self):
+        rng = np.random.default_rng(5)
+        n = 30
+        a = rng.normal(size=(n, n))
+        k = a @ a.T + n * np.eye(n)
+        b = rng.normal(size=(n, n))
+        m = b @ b.T + n * np.eye(n)
+        lam, modes, it, conv = subspace_eigensolve(k, m, 4, tol=1e-12)
+        ref = scipy.linalg.eigh(k, m, eigvals_only=True)[:4]
+        assert conv
+        assert np.allclose(lam, ref, rtol=1e-8)
+        # M-orthonormality
+        gram = modes.T @ m @ modes
+        assert np.allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_validates_mode_count(self):
+        k = np.eye(3)
+        with pytest.raises(SolverError):
+            subspace_eigensolve(k, k, 0)
+        with pytest.raises(SolverError):
+            subspace_eigensolve(k, k, 5)
+
+
+class TestNaturalFrequencies:
+    def test_cantilever_beam_first_mode_analytic(self):
+        """Euler cantilever: omega1 = (1.875104)^2 sqrt(EI / rho A L^4)."""
+        length = 2.0
+        mesh = cantilever_frame(16, length)
+        c = Constraints(mesh).fix(0)
+        r = natural_frequencies(mesh, MAT, c, n_modes=2, lumped=False)
+        assert r.converged
+        exact1 = 1.875104**2 * np.sqrt(
+            MAT.e * MAT.inertia / (MAT.density * MAT.area * length**4)
+        )
+        exact2 = 4.694091**2 * np.sqrt(
+            MAT.e * MAT.inertia / (MAT.density * MAT.area * length**4)
+        )
+        assert r.omega[0] == pytest.approx(exact1, rel=1e-3)
+        assert r.omega[1] == pytest.approx(exact2, rel=2e-2)
+
+    def test_lumped_vs_consistent_bracket(self):
+        """Lumped mass underestimates frequencies; consistent overestimates
+        (for the Euler cantilever) — the classic bracketing."""
+        mesh = cantilever_frame(8, 1.0)
+        c = Constraints(mesh).fix(0)
+        lumped = natural_frequencies(mesh, MAT, c, n_modes=1, lumped=True)
+        consistent = natural_frequencies(mesh, MAT, c, n_modes=1, lumped=False)
+        exact = 1.875104**2 * np.sqrt(MAT.e * MAT.inertia / (MAT.density * MAT.area))
+        assert lumped.omega[0] < exact < consistent.omega[0] * 1.001
+
+    def test_plate_frequencies_match_dense_reference(self):
+        mesh = rect_grid(4, 2, 1.0, 0.5)
+        c = Constraints(mesh).fix_nodes(mesh.nodes_on(x=0.0))
+        r = natural_frequencies(mesh, MAT, c, n_modes=3, lumped=True)
+        from repro.fem import assemble_stiffness
+
+        k = assemble_stiffness(mesh, MAT, fmt="dense")
+        m = assemble_mass(mesh, MAT, lumped=True, fmt="dense")
+        free = c.free_dofs
+        ref = scipy.linalg.eigh(
+            k[np.ix_(free, free)], m[np.ix_(free, free)], eigvals_only=True
+        )[:3]
+        assert np.allclose(r.omega**2, ref, rtol=1e-6)
+
+    def test_frequencies_ascend(self):
+        mesh = rect_grid(3, 2)
+        c = Constraints(mesh).fix_nodes(mesh.nodes_on(x=0.0))
+        r = natural_frequencies(mesh, MAT, c, n_modes=4)
+        assert np.all(np.diff(r.frequencies) >= -1e-9)
+
+    def test_mode_expansion_zero_at_supports(self):
+        mesh = rect_grid(3, 2)
+        c = Constraints(mesh).fix_nodes(mesh.nodes_on(x=0.0))
+        r = natural_frequencies(mesh, MAT, c, n_modes=1)
+        full = r.mode_full(c, 0)
+        assert np.allclose(full[c.fixed_dofs], 0.0)
+
+    def test_rayleigh_quotient_upper_bounds_fundamental(self):
+        mesh = cantilever_frame(8, 1.0)
+        c = Constraints(mesh).fix(0)
+        from repro.fem import assemble_stiffness
+
+        k = assemble_stiffness(mesh, MAT, fmt="dense")
+        m = assemble_mass(mesh, MAT, lumped=False, fmt="dense")
+        free = c.free_dofs
+        k_ff, m_ff = k[np.ix_(free, free)], m[np.ix_(free, free)]
+        r = natural_frequencies(mesh, MAT, c, n_modes=1, lumped=False)
+        # a crude trial shape: linear tip-up deflection
+        trial = np.zeros(mesh.n_dofs)
+        for node in range(mesh.n_nodes):
+            trial[mesh.dof(node, 1)] = mesh.coords[node, 0]
+        rq = rayleigh_quotient(k_ff, m_ff, trial[free])
+        assert rq >= r.omega[0] ** 2 * 0.999
+
+
+class TestMeshQuality:
+    def test_unit_squares_are_perfect(self):
+        mesh = rect_grid(3, 3, 3.0, 3.0)
+        q = element_quality(mesh, "quad4")
+        assert np.allclose(q["aspect"], 1.0)
+        assert np.allclose(q["min_angle"], 90.0)
+        assert acceptable(mesh)
+
+    def test_stretched_grid_flagged(self):
+        mesh = rect_grid(4, 4, 100.0, 1.0)  # aspect 25 cells
+        q = mesh_quality(mesh)
+        assert q["worst_aspect"] > 10
+        assert not acceptable(mesh)
+
+    def test_triangle_angles(self):
+        mesh = rect_grid(2, 2, kind="tri3")
+        q = element_quality(mesh, "tri3")
+        assert np.allclose(q["min_angle"], 45.0)
+        assert np.allclose(q["max_angle"], 90.0)
+
+    def test_bar_elements_trivial_quality(self):
+        from repro.fem import pratt_truss
+
+        mesh = pratt_truss(4)
+        q = element_quality(mesh, "bar2d")
+        assert np.all(q["aspect"] == 1.0)
+        assert acceptable(mesh)  # no area elements to object to
+
+    def test_unknown_group(self):
+        mesh = rect_grid(2, 2)
+        with pytest.raises(FEMError):
+            element_quality(mesh, "tri3")

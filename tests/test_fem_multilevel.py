@@ -1,0 +1,76 @@
+"""Tests for multilevel (tree) substructuring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FEMError
+from repro.fem import (
+    Constraints,
+    LoadSet,
+    Material,
+    multilevel_substructure_solve,
+    rect_grid,
+    static_solve,
+)
+
+MAT = Material(e=70e9, nu=0.3, thickness=0.01)
+
+
+def problem(nx=12, ny=4):
+    m = rect_grid(nx, ny, 3.0, 1.0)
+    c = Constraints(m).fix_nodes(m.nodes_on(x=0.0))
+    loads = LoadSet().add_nodal_many(m.nodes_on(x=3.0), 1, -1e4)
+    return m, c, loads
+
+
+class TestMultilevel:
+    @pytest.mark.parametrize("leaves,group", [(2, 2), (4, 2), (8, 2), (8, 4),
+                                              (6, 3)])
+    def test_matches_direct_solve(self, leaves, group):
+        m, c, loads = problem()
+        ref = static_solve(m, MAT, c, loads)
+        sol = multilevel_substructure_solve(m, MAT, c, loads,
+                                            leaves=leaves, group=group)
+        assert np.allclose(sol.u, ref.u, atol=1e-8 * abs(ref.u).max())
+
+    def test_tree_metadata(self):
+        m, c, loads = problem()
+        sol = multilevel_substructure_solve(m, MAT, c, loads, leaves=8, group=2)
+        assert sol.leaf_count == 8
+        assert sol.levels == 3  # 8 -> 4 -> 2 -> 1
+        assert sol.condensation_flops > 0
+        assert sol.top_size == 0  # the final merge condenses everything
+
+    def test_single_leaf_degenerates(self):
+        m, c, loads = problem(4, 2)
+        ref = static_solve(m, MAT, c, loads)
+        sol = multilevel_substructure_solve(m, MAT, c, loads, leaves=1)
+        assert np.allclose(sol.u, ref.u, atol=1e-8 * abs(ref.u).max())
+        assert sol.levels == 0
+
+    def test_bisection_partitioner(self):
+        m, c, loads = problem()
+        ref = static_solve(m, MAT, c, loads)
+        sol = multilevel_substructure_solve(
+            m, MAT, c, loads, leaves=4, partitioner="bisection"
+        )
+        assert np.allclose(sol.u, ref.u, atol=1e-8 * abs(ref.u).max())
+
+    def test_validation(self):
+        m, c, loads = problem(4, 2)
+        with pytest.raises(FEMError):
+            multilevel_substructure_solve(m, MAT, c, loads, leaves=0)
+        with pytest.raises(FEMError):
+            multilevel_substructure_solve(m, MAT, c, loads, group=1)
+
+    def test_deeper_trees_do_less_top_level_work(self):
+        """The whole point: the top system shrinks as levels condense."""
+        m, c, loads = problem(16, 4)
+        flat = multilevel_substructure_solve(m, MAT, c, loads, leaves=8,
+                                             group=8)
+        deep = multilevel_substructure_solve(m, MAT, c, loads, leaves=8,
+                                             group=2)
+        ref = static_solve(m, MAT, c, loads)
+        for sol in (flat, deep):
+            assert np.allclose(sol.u, ref.u, atol=1e-8 * abs(ref.u).max())
+        assert deep.levels > flat.levels

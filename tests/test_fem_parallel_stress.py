@@ -1,0 +1,76 @@
+"""Tests for distributed stress recovery on the simulated machine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FEMError
+from repro.fem import (
+    Constraints,
+    LoadSet,
+    Material,
+    max_stress_summary,
+    parallel_stress_recovery,
+    partition_strips,
+    rect_grid,
+    recover_stresses,
+    static_solve,
+)
+from repro.hardware import MachineConfig
+from repro.langvm import Fem2Program
+
+MAT = Material(e=70e9, nu=0.3, thickness=0.01)
+
+
+def solved_problem(nx=6, ny=3):
+    m = rect_grid(nx, ny, 2.0, 1.0)
+    c = Constraints(m).fix_nodes(m.nodes_on(x=0.0))
+    loads = LoadSet().add_nodal_many(m.nodes_on(x=2.0), 1, -1e4)
+    r = static_solve(m, MAT, c, loads, with_stresses=True)
+    return m, r
+
+
+def make_program(clusters=2):
+    cfg = MachineConfig(n_clusters=clusters, pes_per_cluster=4,
+                        memory_words_per_cluster=8_000_000)
+    return Fem2Program(cfg)
+
+
+class TestParallelStress:
+    def test_matches_host_recovery(self):
+        m, r = solved_problem()
+        prog = make_program()
+        peaks = parallel_stress_recovery(prog, m, MAT, r.u, n_workers=3)
+        host = max_stress_summary(r.stresses)
+        assert set(peaks) == set(host)
+        for name in host:
+            assert peaks[name] == pytest.approx(host[name], rel=1e-9)
+
+    def test_workers_spread_and_communicate(self):
+        m, r = solved_problem(8, 4)
+        prog = make_program(clusters=4)
+        parallel_stress_recovery(prog, m, MAT, r.u, n_workers=4)
+        metr = prog.metrics
+        assert metr.get("task.initiated") == 5  # root + 4 workers
+        assert metr.get("win.remote_reads") >= 1  # u bands cross clusters
+        assert metr.get("proc.flops") > 0
+
+    def test_single_worker(self):
+        m, r = solved_problem(4, 2)
+        prog = make_program(clusters=1)
+        peaks = parallel_stress_recovery(prog, m, MAT, r.u, n_workers=1)
+        host = max_stress_summary(r.stresses)
+        assert peaks["quad4"] == pytest.approx(host["quad4"], rel=1e-9)
+
+    def test_custom_partitions(self):
+        m, r = solved_problem()
+        prog = make_program()
+        subs = partition_strips(m, 2)
+        peaks = parallel_stress_recovery(prog, m, MAT, r.u, subs=subs)
+        host = max_stress_summary(r.stresses)
+        assert peaks["quad4"] == pytest.approx(host["quad4"], rel=1e-9)
+
+    def test_wrong_u_size_rejected(self):
+        m, r = solved_problem(3, 2)
+        prog = make_program()
+        with pytest.raises(FEMError):
+            parallel_stress_recovery(prog, m, MAT, np.zeros(5))

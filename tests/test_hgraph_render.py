@@ -1,0 +1,79 @@
+"""Tests for H-graph rendering (pretty trees, DOT, summaries)."""
+
+import pytest
+
+from repro.hgraph import HGraph, Symbol, pretty, summary, to_dot
+
+
+@pytest.fixture
+def hg():
+    return HGraph("render")
+
+
+class TestPretty:
+    def test_record_tree(self, hg):
+        g = hg.build_record({"name": "beam", "nodes": 4})
+        text = pretty(g)
+        assert "name:" in text and "'beam'" in text
+        assert "nodes:" in text and "4" in text
+
+    def test_cycle_shows_backreference(self, hg):
+        g = hg.new_graph()
+        g.add_arc(g.root, "self", g.root)
+        text = pretty(g)
+        assert f"^n{g.root.nid}" in text
+
+    def test_shared_node_printed_once(self, hg):
+        g = hg.new_graph()
+        shared = hg.new_node(7)
+        g.add_arc(g.root, "a", shared)
+        g.add_arc(g.root, "b", shared)
+        text = pretty(g)
+        assert text.count(f"n{shared.nid} = 7") == 1
+        assert f"^n{shared.nid}" in text
+
+    def test_depth_bound(self, hg):
+        g = hg.build_list(list(range(30)))
+        text = pretty(g, max_depth=3)
+        assert "..." in text
+
+    def test_subgraph_value_labelled(self, hg):
+        inner = hg.build_list([1])
+        g = hg.build_record({"data": hg.subgraph_node(inner)})
+        assert f"<g{inner.gid}>" in pretty(g)
+
+
+class TestDot:
+    def test_dot_structure(self, hg):
+        g = hg.build_record({"x": 1})
+        dot = to_dot(hg, "test")
+        assert dot.startswith("digraph test {")
+        assert dot.rstrip().endswith("}")
+        assert f"subgraph cluster_g{g.gid}" in dot
+        assert '[label="x"]' in dot
+
+    def test_dot_hierarchy_edge(self, hg):
+        inner = hg.build_list([1, 2])
+        outer = hg.build_record({"data": hg.subgraph_node(inner)})
+        dot = to_dot(hg)
+        assert "style=dashed" in dot
+        assert f"-> n{inner.root.nid}" in dot
+
+    def test_dot_escapes_quotes(self, hg):
+        hg.build_record({"s": 'say "hi"'})
+        dot = to_dot(hg)
+        assert '\\"' not in dot.replace('\\n', '')  # quotes were rewritten
+        assert "say 'hi'" in dot
+
+    def test_symbols_render(self, hg):
+        hg.build_record({"state": Symbol("ready")})
+        assert "'ready" in to_dot(hg)
+
+
+class TestSummary:
+    def test_summary_lists_graphs(self, hg):
+        hg.build_list([1, 2, 3])
+        hg.build_record({"a": 1})
+        text = summary(hg)
+        assert "2 graphs" in text
+        assert text.count("root n") == 2

@@ -1,0 +1,80 @@
+"""Unit tests for H-graph serialization."""
+
+import pytest
+
+from repro.errors import HGraphError
+from repro.hgraph import HGraph, Symbol, from_dict, graph_signature, to_dict
+
+
+@pytest.fixture
+def hg():
+    return HGraph("ser")
+
+
+def test_roundtrip_simple_record(hg):
+    g = hg.build_record({"a": 1, "b": "x", "c": 2.5, "d": None, "e": True})
+    data = to_dict(hg)
+    hg2 = from_dict(data)
+    g2 = hg2.graphs()[0]
+    assert graph_signature(g) == graph_signature(g2)
+
+
+def test_roundtrip_preserves_symbols(hg):
+    hg.build_record({"state": Symbol("ready")})
+    hg2 = from_dict(to_dict(hg))
+    g2 = hg2.graphs()[0]
+    assert g2.follow(g2.root, "state").value == Symbol("ready")
+
+
+def test_roundtrip_cycle(hg):
+    g = hg.new_graph()
+    a = hg.new_node(1)
+    g.add_arc(g.root, "a", a)
+    g.add_arc(a, "back", g.root)
+    hg2 = from_dict(to_dict(hg))
+    g2 = hg2.graphs()[0]
+    a2 = g2.follow(g2.root, "a")
+    assert g2.follow(a2, "back") is g2.root
+
+
+def test_roundtrip_shared_node(hg):
+    shared = hg.new_node(9)
+    g1, g2 = hg.new_graph(), hg.new_graph()
+    g1.add_arc(g1.root, "s", shared)
+    g2.add_arc(g2.root, "s", shared)
+    hg2 = from_dict(to_dict(hg))
+    r1, r2 = hg2.graphs()
+    assert r1.follow(r1.root, "s") is r2.follow(r2.root, "s")
+
+
+def test_roundtrip_hierarchy(hg):
+    inner = hg.build_list([1, 2])
+    hg.build_record({"data": hg.subgraph_node(inner)})
+    hg2 = from_dict(to_dict(hg))
+    outer2 = hg2.graphs()[1]
+    inner_node = outer2.follow(outer2.root, "data")
+    assert hg2.list_values(inner_node.value) == [1, 2]
+
+
+def test_roundtrip_is_stable(hg):
+    hg.build_record({"x": 1})
+    d1 = to_dict(hg)
+    d2 = to_dict(from_dict(d1))
+    assert d1 == d2
+
+
+def test_signature_distinguishes_structures(hg):
+    g1 = hg.build_list([1, 2])
+    g2 = hg.build_list([2, 1])
+    g3 = hg.build_list([1, 2])
+    assert graph_signature(g1) != graph_signature(g2)
+    assert graph_signature(g1) == graph_signature(g3)
+
+
+def test_unencodable_value_rejected():
+    # A value sneaked past validation should still fail on encode.
+    hg = HGraph("t")
+    n = hg.new_node(0)
+    n._value = object()  # bypass set_value on purpose
+    with pytest.raises(HGraphError):
+        to_dict(hg)

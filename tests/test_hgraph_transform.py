@@ -1,0 +1,162 @@
+"""Unit tests for H-graph transforms and the interpreter."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.hgraph import (
+    AtomKind,
+    HGraph,
+    Interpreter,
+    Transform,
+    list_grammar,
+    transform,
+)
+
+
+@pytest.fixture
+def hg():
+    return HGraph("t")
+
+
+def make_interp(*transforms, **kw):
+    interp = Interpreter(**kw)
+    interp.register_all(transforms)
+    return interp
+
+
+class TestTransformBasics:
+    def test_simple_transform_runs(self, hg):
+        t = Transform("double", lambda ctx, hg, n: n.value * 2)
+        interp = make_interp(t)
+        node = hg.new_node(21)
+        assert interp.run("double", hg, node) == 42
+
+    def test_decorator_builds_transform(self):
+        @transform()
+        def myop(ctx, hg, x):
+            """Doubles x."""
+            return x * 2
+
+        assert isinstance(myop, Transform)
+        assert myop.name == "myop"
+        assert "Doubles" in myop.doc
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TransformError):
+            Transform("bad", fn=42)
+
+    def test_duplicate_registration_rejected(self):
+        t = Transform("x", lambda ctx, hg: None)
+        interp = make_interp(t)
+        with pytest.raises(TransformError):
+            interp.register(Transform("x", lambda ctx, hg: None))
+
+    def test_unknown_transform(self, hg):
+        interp = make_interp()
+        with pytest.raises(TransformError):
+            interp.run("nope", hg)
+
+
+class TestCallHierarchy:
+    def test_transforms_invoke_each_other(self, hg):
+        inc = Transform("inc", lambda ctx, hg, x: x + 1)
+        twice = Transform("twice", lambda ctx, hg, x: ctx.call("inc", ctx.call("inc", x)))
+        interp = make_interp(inc, twice)
+        assert interp.run("twice", hg, 5) == 7
+        assert interp.stats.calls == 3
+        assert interp.stats.max_depth == 2
+
+    def test_recursion_depth_limited(self, hg):
+        loop = Transform("loop", lambda ctx, hg: ctx.call("loop"))
+        interp = make_interp(loop, max_depth=10)
+        with pytest.raises(TransformError, match="depth"):
+            interp.run("loop", hg)
+
+    def test_trace_records_call_tree(self, hg):
+        a = Transform("a", lambda ctx, hg: ctx.call("b"))
+        b = Transform("b", lambda ctx, hg: 1)
+        interp = make_interp(a, b, trace=True)
+        interp.run("a", hg)
+        tree = interp.call_tree()
+        assert "a" in tree and "  b" in tree
+
+    def test_trace_marks_failures(self, hg):
+        def boom(ctx, hg):
+            raise ValueError("boom")
+
+        interp = make_interp(Transform("boom", boom), trace=True)
+        with pytest.raises(ValueError):
+            interp.run("boom", hg)
+        assert "[FAILED]" in interp.call_tree()
+
+
+class TestConditions:
+    def test_precondition_enforced(self, hg):
+        gram = list_grammar(AtomKind("int"))
+        t = Transform("sum", lambda ctx, hg, g: sum(hg.list_values(g))).require(0, gram)
+        interp = make_interp(t, verify=True)
+        good = hg.build_list([1, 2, 3])
+        assert interp.run("sum", hg, good) == 6
+        bad = hg.build_list(["a"])
+        with pytest.raises(TransformError, match="violated"):
+            interp.run("sum", hg, bad)
+
+    def test_postcondition_enforced(self, hg):
+        gram = list_grammar(AtomKind("int"))
+
+        def make_bad(ctx, hg):
+            return hg.build_list(["oops"])
+
+        t = Transform("mk", make_bad).ensure(gram)
+        interp = make_interp(t, verify=True)
+        with pytest.raises(TransformError, match="violated"):
+            interp.run("mk", hg)
+
+    def test_verify_off_skips_conditions(self, hg):
+        gram = list_grammar(AtomKind("int"))
+        t = Transform("sum", lambda ctx, hg, g: 0).require(0, gram)
+        interp = make_interp(t, verify=False)
+        bad = hg.build_list(["a"])
+        assert interp.run("sum", hg, bad) == 0
+        assert interp.stats.condition_checks == 0
+
+    def test_condition_on_non_graph_subject(self, hg):
+        gram = list_grammar(AtomKind("int"))
+        t = Transform("f", lambda ctx, hg, x: x).require(0, gram)
+        interp = make_interp(t, verify=True)
+        with pytest.raises(TransformError, match="not a Graph"):
+            interp.run("f", hg, 42)
+
+    def test_precondition_index_out_of_range(self, hg):
+        gram = list_grammar(AtomKind("int"))
+        t = Transform("f", lambda ctx, hg: None).require(3, gram)
+        interp = make_interp(t, verify=True)
+        with pytest.raises(TransformError, match="out of range"):
+            interp.run("f", hg)
+
+    def test_condition_checks_counted(self, hg):
+        gram = list_grammar(AtomKind("int"))
+        t = Transform("sum", lambda ctx, hg, g: sum(hg.list_values(g))).require(0, gram)
+        interp = make_interp(t, verify=True)
+        interp.run("sum", hg, hg.build_list([1]))
+        assert interp.stats.condition_checks == 1
+
+
+class TestTransformMutation:
+    def test_transform_mutates_hgraph(self, hg):
+        def push(ctx, hg, g, value):
+            """Prepend value to a list graph by re-rooting the record."""
+            old_root = g.root
+            arcs = g.arcs_from(old_root)
+            new_cell = hg.new_node(None)
+            g.add_arc(new_cell, "head", hg.new_node(value))
+            if arcs:
+                g.add_arc(new_cell, "tail", old_root)
+            g.root = new_cell
+            g.add_member(new_cell)
+            return g
+
+        interp = make_interp(Transform("push", push))
+        g = hg.build_list([2, 3])
+        interp.run("push", hg, g, 1)
+        assert hg.list_values(g) == [1, 2, 3]

@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import EventEngine
+
+
+@pytest.fixture
+def eng():
+    return EventEngine()
+
+
+def test_time_starts_at_zero(eng):
+    assert eng.now == 0
+    assert eng.idle()
+
+
+def test_events_fire_in_time_order(eng):
+    order = []
+    eng.schedule(30, order.append, "c")
+    eng.schedule(10, order.append, "a")
+    eng.schedule(20, order.append, "b")
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 30
+
+
+def test_ties_break_in_scheduling_order(eng):
+    order = []
+    for tag in "abc":
+        eng.schedule(5, order.append, tag)
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_nested_scheduling(eng):
+    order = []
+
+    def outer():
+        order.append("outer")
+        eng.schedule(5, order.append, "inner")
+
+    eng.schedule(10, outer)
+    eng.run()
+    assert order == ["outer", "inner"]
+    assert eng.now == 15
+
+
+def test_zero_delay_event_runs_after_current(eng):
+    order = []
+
+    def first():
+        order.append(1)
+        eng.schedule(0, order.append, 3)
+        order.append(2)
+
+    eng.schedule(1, first)
+    eng.run()
+    assert order == [1, 2, 3]
+
+
+def test_negative_delay_rejected(eng):
+    with pytest.raises(SimulationError):
+        eng.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected(eng):
+    eng.schedule(10, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.schedule_at(5, lambda: None)
+
+
+def test_run_until_stops_clock(eng):
+    fired = []
+    eng.schedule(100, fired.append, 1)
+    eng.run(until=50)
+    assert not fired
+    assert eng.now == 50
+    eng.run()
+    assert fired == [1]
+
+
+def test_run_until_advances_clock_with_empty_queue(eng):
+    eng.run(until=500)
+    assert eng.now == 500
+
+
+def test_max_events_bound(eng):
+    for i in range(10):
+        eng.schedule(i + 1, lambda: None)
+    assert eng.run(max_events=4) == 4
+    assert eng.pending() == 6
+
+
+def test_cancel_skips_event(eng):
+    fired = []
+    ev = eng.schedule(10, fired.append, "x")
+    eng.schedule(20, fired.append, "y")
+    ev.cancel()
+    eng.run()
+    assert fired == ["y"]
+    assert eng.events_processed == 1
+
+
+def test_pending_counts_live_events(eng):
+    a = eng.schedule(1, lambda: None)
+    eng.schedule(2, lambda: None)
+    a.cancel()
+    assert eng.pending() == 1
+
+
+def test_step_returns_false_when_drained(eng):
+    assert eng.step() is False
+    eng.schedule(1, lambda: None)
+    assert eng.step() is True
+    assert eng.step() is False
+
+
+def test_determinism_across_runs():
+    def build():
+        e = EventEngine()
+        log = []
+        e.schedule(3, lambda: log.append(("a", e.now)))
+        e.schedule(3, lambda: log.append(("b", e.now)))
+        e.schedule(1, lambda: e.schedule(2, lambda: log.append(("c", e.now))))
+        e.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,131 @@
+"""Unit tests for metrics: histograms, busy trackers, the registry."""
+
+import math
+
+import pytest
+
+from repro.hardware import BusyTracker, Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        s = Histogram().summary()
+        assert s["count"] == 0 and s["mean"] == 0.0
+
+    def test_basic_stats(self):
+        h = Histogram()
+        for v in [1, 2, 3, 4]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10
+        assert h.min == 1 and h.max == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.variance == pytest.approx(1.25)
+
+    def test_single_observation(self):
+        h = Histogram()
+        h.observe(7.0)
+        assert h.mean == 7.0 and h.std == 0.0
+
+    def test_merge_matches_combined_stream(self):
+        import random
+
+        rng = random.Random(3)
+        xs = [rng.random() * 10 for _ in range(50)]
+        ys = [rng.random() * 10 for _ in range(30)]
+        h1, h2, hall = Histogram(), Histogram(), Histogram()
+        for x in xs:
+            h1.observe(x)
+            hall.observe(x)
+        for y in ys:
+            h2.observe(y)
+            hall.observe(y)
+        h1.merge(h2)
+        assert h1.count == hall.count
+        assert h1.mean == pytest.approx(hall.mean)
+        assert h1.variance == pytest.approx(hall.variance)
+        assert h1.min == hall.min and h1.max == hall.max
+
+    def test_merge_into_empty(self):
+        h1, h2 = Histogram(), Histogram()
+        h2.observe(5)
+        h1.merge(h2)
+        assert h1.count == 1 and h1.mean == 5
+
+
+class TestBusyTracker:
+    def test_accumulates_busy_time(self):
+        b = BusyTracker()
+        b.begin(10)
+        b.end(25)
+        b.begin(30)
+        b.end(40)
+        assert b.busy_cycles == 25
+        assert b.utilization(50) == 0.5
+
+    def test_double_begin_rejected(self):
+        b = BusyTracker()
+        b.begin(0)
+        with pytest.raises(ValueError):
+            b.begin(1)
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(ValueError):
+            BusyTracker().end(1)
+
+    def test_utilization_zero_elapsed(self):
+        assert BusyTracker().utilization(0) == 0.0
+
+
+class TestMetricsRegistry:
+    def test_incr_and_get(self):
+        m = MetricsRegistry()
+        m.incr("proc.flops", 100)
+        m.incr("proc.flops", 50)
+        assert m.get("proc.flops") == 150
+        assert m.get("missing") == 0.0
+
+    def test_set_max_keeps_high_water(self):
+        m = MetricsRegistry()
+        m.set_max("mem.hwm", 10)
+        m.set_max("mem.hwm", 5)
+        m.set_max("mem.hwm", 20)
+        assert m.get("mem.hwm") == 20
+
+    def test_by_prefix_strips_prefix(self):
+        m = MetricsRegistry()
+        m.incr("comm.messages.rpc", 3)
+        m.incr("comm.messages.pause", 2)
+        m.incr("proc.cycles", 9)
+        assert m.by_prefix("comm.messages") == {"rpc": 3, "pause": 2}
+        assert m.total("comm.messages") == 5
+
+    def test_observe_builds_histogram(self):
+        m = MetricsRegistry()
+        m.observe("comm.size", 10)
+        m.observe("comm.size", 30)
+        assert m.histogram("comm.size").mean == 20
+        assert m.histogram("absent").count == 0
+
+    def test_snapshot_includes_histograms(self):
+        m = MetricsRegistry()
+        m.incr("a", 1)
+        m.observe("h", 4)
+        snap = m.snapshot()
+        assert snap["a"] == 1
+        assert snap["h.count"] == 1 and snap["h.mean"] == 4
+
+    def test_reset(self):
+        m = MetricsRegistry()
+        m.incr("a")
+        m.observe("h", 1)
+        m.reset()
+        assert m.counters() == {}
+        assert m.histogram("h").count == 0
+
+    def test_report_renders(self):
+        m = MetricsRegistry()
+        m.incr("proc.cycles", 1234)
+        m.observe("q", 2)
+        text = m.report()
+        assert "proc.cycles" in text and "1,234" in text and "q" in text

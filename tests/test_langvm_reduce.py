@@ -1,0 +1,101 @@
+"""Tests for flat and tree reductions."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import MachineConfig
+from repro.langvm import (
+    Fem2Program,
+    ensure_reduce_registered,
+    flat_reduce,
+    tree_reduce,
+)
+
+
+def make_program(clusters=4, pes=5):
+    cfg = MachineConfig(n_clusters=clusters, pes_per_cluster=pes,
+                        memory_words_per_cluster=8_000_000)
+    prog = Fem2Program(cfg)
+    ensure_reduce_registered(prog)
+    return prog
+
+
+def scalar_leaf(ctx, index):
+    yield ctx.compute(flops=1)
+    return index + 1
+
+
+def vector_leaf(ctx, m, index):
+    yield ctx.compute(flops=m)
+    return np.full(m, float(index))
+
+
+class TestFlatReduce:
+    def test_scalar_sum(self):
+        prog = make_program()
+        prog.define("leaf", scalar_leaf)
+
+        def main(ctx):
+            return (yield from flat_reduce(ctx, "leaf", n=10))
+
+        prog.define("main", main)
+        assert prog.run("main") == sum(range(1, 11))
+
+    def test_vector_sum(self):
+        prog = make_program()
+        prog.define("leaf", vector_leaf)
+
+        def main(ctx):
+            return (yield from flat_reduce(ctx, "leaf", n=8, args=(16,)))
+
+        prog.define("main", main)
+        out = prog.run("main")
+        assert np.allclose(out, np.full(16, sum(range(8))))
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("n,fanout", [(1, 2), (2, 2), (7, 2), (16, 2),
+                                          (9, 3), (16, 4)])
+    def test_matches_flat_for_all_shapes(self, n, fanout):
+        prog = make_program()
+        prog.define("leaf", scalar_leaf)
+
+        def main(ctx):
+            return (yield from tree_reduce(ctx, "leaf", n=n, fanout=fanout))
+
+        prog.define("main", main)
+        assert prog.run("main") == sum(range(1, n + 1))
+
+    def test_vector_tree(self):
+        prog = make_program()
+        prog.define("leaf", vector_leaf)
+
+        def main(ctx):
+            return (yield from tree_reduce(ctx, "leaf", n=12, args=(32,), fanout=3))
+
+        prog.define("main", main)
+        assert np.allclose(prog.run("main"), np.full(32, sum(range(12))))
+
+    def test_invalid_args(self):
+        prog = make_program()
+        prog.define("leaf", scalar_leaf)
+
+        def main(ctx):
+            yield from tree_reduce(ctx, "leaf", n=4, fanout=1)
+
+        prog.define("main", main)
+        with pytest.raises(Exception):
+            prog.run("main")
+
+    def test_tree_distributes_message_load(self):
+        """No kernel fields all the result messages in a deep tree."""
+        prog = make_program(clusters=4)
+        prog.define("leaf", vector_leaf)
+
+        def main(ctx):
+            return (yield from tree_reduce(ctx, "leaf", n=16, args=(64,), fanout=2))
+
+        prog.define("main", main)
+        prog.run("main", cluster=0)
+        # internal nodes exist: more initiations than leaves + root
+        assert prog.metrics.get("task.initiated") > 17

@@ -1,0 +1,80 @@
+"""Property-based equivalence tests: independently-implemented paths
+must agree (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fem import (
+    Constraints,
+    LoadSet,
+    Material,
+    multilevel_substructure_solve,
+    rect_grid,
+    static_solve,
+    substructure_solve,
+)
+from repro.sysvm import encode, terminate_notify, words_of
+
+SMALL = settings(max_examples=12, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+TINY = settings(max_examples=8, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+MAT = Material(e=70e9, nu=0.3, thickness=0.01)
+
+
+@st.composite
+def cantilever_problems(draw):
+    nx = draw(st.integers(2, 7))
+    ny = draw(st.integers(1, 4))
+    kind = draw(st.sampled_from(["quad4", "tri3"]))
+    mesh = rect_grid(nx, ny, 2.0, 1.0, kind=kind)
+    c = Constraints(mesh).fix_nodes(mesh.nodes_on(x=0.0))
+    loads = LoadSet()
+    comp = draw(st.sampled_from([0, 1]))
+    loads.add_nodal_many(mesh.nodes_on(x=2.0), comp, -1e4)
+    return mesh, c, loads
+
+
+class TestSolverEquivalence:
+    @SMALL
+    @given(cantilever_problems(), st.integers(2, 5))
+    def test_substructuring_equals_direct(self, problem, parts):
+        mesh, c, loads = problem
+        ref = static_solve(mesh, MAT, c, loads)
+        sol = substructure_solve(mesh, MAT, c, loads, n_substructures=parts)
+        assert np.allclose(sol.u, ref.u, atol=1e-8 * abs(ref.u).max() + 1e-16)
+
+    @TINY
+    @given(cantilever_problems(), st.integers(2, 6), st.integers(2, 3))
+    def test_multilevel_equals_direct(self, problem, leaves, group):
+        mesh, c, loads = problem
+        ref = static_solve(mesh, MAT, c, loads)
+        sol = multilevel_substructure_solve(mesh, MAT, c, loads,
+                                            leaves=leaves, group=group)
+        assert np.allclose(sol.u, ref.u, atol=1e-8 * abs(ref.u).max() + 1e-16)
+
+    @SMALL
+    @given(cantilever_problems())
+    def test_cg_equals_lu(self, problem):
+        mesh, c, loads = problem
+        lu = static_solve(mesh, MAT, c, loads, method="sparse_lu")
+        cg = static_solve(mesh, MAT, c, loads, method="cg", tol=1e-12,
+                          max_iter=20_000)
+        assert np.allclose(lu.u, cg.u, atol=1e-8 * abs(lu.u).max() + 1e-16)
+
+
+class TestCodecProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2000))
+    def test_message_size_monotone_in_payload(self, n):
+        small = encode(terminate_notify(1, 2, result=np.zeros(n)), 0, 1)
+        bigger = encode(terminate_notify(1, 2, result=np.zeros(n + 1)), 0, 1)
+        assert bigger.size_words == small.size_words + 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-10, 10), max_size=20))
+    def test_words_of_list_equals_sum_plus_length_word(self, xs):
+        assert words_of(xs) == 1 + sum(words_of(x) for x in xs)
