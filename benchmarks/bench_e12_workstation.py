@@ -77,14 +77,13 @@ def run_multiuser():
         MachineConfig(n_clusters=4, pes_per_cluster=5,
                       memory_words_per_cluster=32_000_000)
     )
-    for s in users:
-        service.submit(s.user, s.current, "case1")
-    results = service.run_batch()
-    for s in users:
+    handles = [service.submit(s.user, s.current, "case1") for s in users]
+    service.run()
+    for s, handle in zip(users, handles):
         model = s.current
         ref = static_solve(model.mesh, model.material, model.constraints,
                            model.load_sets["case1"])
-        assert np.allclose(results[s.user].u, ref.u,
+        assert np.allclose(handle.result().u, ref.u,
                            atol=1e-6 * abs(ref.u).max())
     report = service.machine_report()
     return len(users), visible, got.mesh.n_dofs, report

@@ -14,6 +14,7 @@ every layer as running code:
 * :mod:`repro.fem`      — the finite-element substrate + distributed FEM
 * :mod:`repro.core`     — the design method itself (the contribution)
 * :mod:`repro.analysis` — requirement estimation (Adams & Voigt, ref [8])
+* :mod:`repro.obs`      — observability spine: spans + structured export
 * :mod:`repro.bench`    — workloads and the experiment harness
 
 Quickstart::
@@ -32,7 +33,7 @@ Quickstart::
     print(ci.execute("show displacements tip"))
 """
 
-from . import analysis, appvm, bench, core, fem, hardware, hgraph, langvm, sysvm
+from . import analysis, appvm, bench, core, fem, hardware, hgraph, langvm, obs, sysvm
 from .errors import Fem2Error
 from .hardware import Machine, MachineConfig
 from .langvm import Fem2Program
@@ -50,6 +51,7 @@ __all__ = [
     "hardware",
     "hgraph",
     "langvm",
+    "obs",
     "sysvm",
     "Fem2Error",
     "Machine",

@@ -11,7 +11,7 @@ from .workspace import Workspace
 from .display import render_displacements, render_model, render_stresses, render_table
 from .session import WorkstationSession
 from .commands import CommandInterpreter
-from .service import MachineService, SolveJob
+from .service import JobHandle, MachineService, SolveJob
 
 __all__ = [
     "AnalysisResult",
@@ -25,6 +25,7 @@ __all__ = [
     "render_table",
     "WorkstationSession",
     "CommandInterpreter",
+    "JobHandle",
     "MachineService",
     "SolveJob",
 ]

@@ -1,18 +1,24 @@
 """The shared analysis service: one FEM-2 machine, many users.
 
 "Provide multi-user access" — this module is the machine-side half of
-that requirement.  Sessions submit solve jobs; the service runs every
-pending job *concurrently* as independent root tasks on one machine
-(the outermost level of parallelism), then hands each user their
-result.
+that requirement.  Sessions submit solve jobs and get back a
+:class:`JobHandle`; the service runs every pending job *concurrently*
+as independent root tasks on one machine (the outermost level of
+parallelism), then each user reads their result from their handle:
+
+    handle = service.submit("alice", model, "case", workers=4)
+    service.run()
+    result = handle.result()
+
+When the service's machine carries a :mod:`repro.obs` tracer, every job
+opens an ``appvm.job`` span that parents the job's root-task span, so a
+profile links user job → tasks → messages → cycles.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+import warnings
+from typing import Dict, List, Optional
 
 from ..errors import AppVMError
 from ..fem import (
@@ -25,57 +31,121 @@ from ..langvm import Fem2Program
 from .model import AnalysisResult, StructureModel
 
 
-@dataclass
-class SolveJob:
-    user: str
-    model: StructureModel
-    load_set: str
-    workers: int
-    tid: Optional[int] = None
+class JobHandle:
+    """One submitted solve job; resolves after :meth:`MachineService.run`."""
+
+    __slots__ = ("user", "model", "load_set", "workers", "tid", "span", "_result")
+
+    def __init__(self, user: str, model: StructureModel, load_set: str,
+                 workers: int) -> None:
+        self.user = user
+        self.model = model
+        self.load_set = load_set
+        self.workers = workers
+        self.tid: Optional[int] = None
+        self.span = None  # appvm.job span when tracing is on
+        self._result: Optional[AnalysisResult] = None
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    def result(self) -> AnalysisResult:
+        """The job's analysis result; raises until the service has run."""
+        if self._result is None:
+            raise AppVMError(
+                f"job for {self.user!r} has not run yet (call service.run())"
+            )
+        return self._result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done else "pending"
+        return f"JobHandle({self.user!r}, {self.model.name!r}, {state})"
+
+
+#: deprecated name — jobs used to be plain SolveJob records; JobHandle
+#: keeps the same attributes (user, model, load_set, workers, tid)
+SolveJob = JobHandle
 
 
 class MachineService:
     """Batches user solve requests onto one simulated FEM-2 machine."""
 
-    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+    def __init__(self, config: Optional[MachineConfig] = None, tracer=None) -> None:
         self.config = config or MachineConfig(memory_words_per_cluster=16_000_000)
-        self.program = Fem2Program(self.config)
-        self._pending: List[SolveJob] = []
+        self.program = Fem2Program(self.config, tracer=tracer)
+        self._pending: List[JobHandle] = []
         self.completed_batches = 0
 
-    def submit(self, user: str, model: StructureModel, load_set: str,
-               workers: int = 2, tol: float = 1e-9) -> SolveJob:
-        """Queue one user's solve; nothing runs until :meth:`run_batch`."""
+    @property
+    def tracer(self):
+        return self.program.tracer
+
+    def submit(self, user: str, model: StructureModel, load_set: str, *,
+               workers: int = 2, tol: float = 1e-9) -> JobHandle:
+        """Queue one user's solve; nothing runs until :meth:`run`."""
         mesh = model.require_mesh()
         constraints = model.require_constraints()
         loads = model.load_set(load_set)
-        job = SolveJob(user, model, load_set, workers)
-        job.tid = start_parallel_cg(
-            self.program, mesh, model.material, constraints, loads,
-            n_workers=workers, tol=tol,
-        )
-        self._pending.append(job)
-        return job
+        handle = JobHandle(user, model, load_set, workers)
+        runtime = self.program.runtime
+        obs = runtime.obs
+        if obs is not None and obs.enabled:
+            handle.span = obs.begin(
+                "appvm.job", f"{user}/{model.name}", self.program.now,
+                user=user, model=model.name, load_set=load_set, workers=workers,
+            )
+        # parent the job's root task under the job span (restored after
+        # spawn so unrelated root tasks stay unparented)
+        runtime.obs_root_parent = handle.span
+        try:
+            handle.tid = start_parallel_cg(
+                self.program, mesh, model.material, constraints, loads,
+                n_workers=workers, tol=tol,
+            )
+        finally:
+            runtime.obs_root_parent = None
+        self._pending.append(handle)
+        return handle
 
-    def run_batch(self) -> Dict[str, AnalysisResult]:
-        """Run every submitted job concurrently; returns per-user results."""
+    def run(self) -> List[JobHandle]:
+        """Run every submitted job concurrently; resolves their handles."""
         if not self._pending:
             raise AppVMError("no jobs submitted")
         self.program.runtime.run()
-        out: Dict[str, AnalysisResult] = {}
-        for job in self._pending:
-            info = collect_parallel_cg(self.program, job.tid)
-            stresses = recover_stresses(job.model.require_mesh(),
-                                        job.model.material, info.u)
-            out[job.user] = AnalysisResult(
-                job.model.name, job.load_set, info.u, stresses,
-                f"fem2-service[{job.workers}]",
+        obs = self.program.runtime.obs
+        for handle in self._pending:
+            info = collect_parallel_cg(self.program, handle.tid)
+            stresses = recover_stresses(handle.model.require_mesh(),
+                                        handle.model.material, info.u)
+            handle._result = AnalysisResult(
+                handle.model.name, handle.load_set, info.u, stresses,
+                f"fem2-service[{handle.workers}]",
                 iterations=info.iterations,
                 elapsed_cycles=info.elapsed_cycles,
             )
-        self._pending.clear()
+            if obs is not None and obs.enabled:
+                obs.end(handle.span, self.program.now,
+                        iterations=info.iterations)
+        finished = self._pending
+        self._pending = []
         self.completed_batches += 1
-        return out
+        return finished
+
+    # -- deprecated batch API ------------------------------------------------
+
+    def run_batch(self) -> Dict[str, AnalysisResult]:
+        """Run all pending jobs; returns ``{user: result}``.
+
+        .. deprecated:: use :meth:`run` and per-job :meth:`JobHandle.result`
+           — a dict keyed by user silently loses jobs when one user
+           submits twice in a batch.
+        """
+        warnings.warn(
+            "MachineService.run_batch() is deprecated; use run() and "
+            "JobHandle.result()", DeprecationWarning, stacklevel=2,
+        )
+        return {h.user: h.result() for h in self.run()}
 
     @property
     def pending_count(self) -> int:

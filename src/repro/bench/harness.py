@@ -1,27 +1,38 @@
-"""Experiment harness: table printing and run records.
+"""Experiment harness: table printing and machine-readable run records.
 
 Every benchmark prints its table through :class:`Experiment` so the
 output format is uniform and EXPERIMENTS.md can quote it directly.
+Each experiment also exports as a plain-dict record (:meth:`to_record`/
+:meth:`to_json`) so ``benchmarks/run_all.py`` can write ``BENCH_*.json``
+artifacts that perf trajectories diff across commits.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..appvm.display import render_table
+from ..obs import plain
 
 
 @dataclass
 class Experiment:
-    """One experiment: id, title, and a growing table of results."""
+    """One experiment: id, title, and a growing table of results.
+
+    ``spans`` optionally carries a span-profile summary (see
+    :mod:`repro.obs`) so a record answers "where did the cycles go"
+    alongside the table.
+    """
 
     exp_id: str
     title: str
     headers: List[str] = field(default_factory=list)
     rows: List[List[Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    spans: Optional[Dict[str, Any]] = None
 
     def set_headers(self, *headers: str) -> None:
         self.headers = list(headers)
@@ -37,6 +48,10 @@ class Experiment:
     def note(self, text: str) -> None:
         self.notes.append(text)
 
+    def attach_spans(self, summary: Dict[str, Any]) -> None:
+        """Attach a span-profile summary (already a plain dict)."""
+        self.spans = plain(summary)
+
     def render(self) -> str:
         lines = [f"== {self.exp_id}: {self.title} =="]
         if self.rows:
@@ -45,8 +60,29 @@ class Experiment:
             lines.append(f"  note: {n}")
         return "\n".join(lines)
 
-    def show(self, file=None) -> None:
+    def to_record(self) -> Dict[str, Any]:
+        """The experiment as a plain dict of plain values (JSON-safe)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": plain(self.rows),
+            "notes": list(self.notes),
+            "spans": self.spans,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_record(), indent=indent)
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+    def show(self, file=None, json_path=None) -> None:
+        """Print the table; optionally also write the JSON record."""
         print(self.render(), file=file or sys.stdout)
+        if json_path is not None:
+            self.write_json(json_path)
 
     def column(self, header: str) -> List[Any]:
         idx = self.headers.index(header)

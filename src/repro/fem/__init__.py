@@ -24,6 +24,7 @@ from .solvers import (
     conjugate_gradient,
     jacobi,
     solve_cholesky,
+    solve_linear,
     solve_sparse_lu,
     sor,
 )
@@ -83,6 +84,7 @@ __all__ = [
     "conjugate_gradient",
     "jacobi",
     "solve_cholesky",
+    "solve_linear",
     "solve_sparse_lu",
     "sor",
     "max_stress_summary",

@@ -171,6 +171,9 @@ def start_parallel_cg(
         q_arr = yield ctx.create(np.zeros(n))
         ctrl = yield ctx.create(np.zeros(1))
         tids = []
+        # the worker spawn is a forall over subdomains (hand-rolled so each
+        # worker gets its own strip windows); scope it like one for profiles
+        span = ctx.obs_begin("langvm.forall", worker_name, n=len(subs))
         for i, (sub, payload) in enumerate(zip(subs, payloads)):
             got = yield ctx.initiate(
                 worker_name,
@@ -186,6 +189,7 @@ def start_parallel_cg(
             tids.extend(got)
         for t in tids:
             yield ctx.wait_pause(t)
+        ctx.obs_end(span, tasks=len(tids))
 
         x = np.zeros(n)
         r = f.copy()

@@ -15,7 +15,7 @@ from .bc import Constraints
 from .loads import LoadSet
 from .materials import Material
 from .mesh import Mesh
-from .solvers import SOLVERS, SolveResult
+from .solvers import SolveResult, solve_linear
 from .stress import recover_stresses
 
 
@@ -42,14 +42,12 @@ def static_solve(
     **solver_kw,
 ) -> StaticResult:
     """Assemble, reduce, solve, expand — one stop for examples/tests."""
-    if method not in SOLVERS:
-        raise SolverError(f"unknown method {method!r}; one of {sorted(SOLVERS)}")
     k = assemble_stiffness(mesh, material)
     f = loads.vector(mesh)
     k_ff, f_f = constraints.reduce(k, f)
     if k_ff.shape[0] == 0:
         raise SolverError("no free degrees of freedom")
-    result = SOLVERS[method](k_ff, f_f, **solver_kw)
+    result = solve_linear(k_ff, f_f, method=method, **solver_kw)
     if not result.converged:
         raise SolverError(
             f"{method} did not converge ({result.iterations} iterations, "

@@ -1,6 +1,13 @@
 """Linear solvers: direct (sparse LU, dense Cholesky) and iterative
-(CG, Jacobi, SOR), all returning :class:`SolveResult`."""
+(CG, Jacobi, SOR), all returning :class:`SolveResult`.
 
+:func:`solve_linear` is the one entry point — callers name the method;
+the ``SOLVERS`` registry dict stays public for enumeration (benchmark
+sweeps) but direct ``SOLVERS[...]`` indexing is deprecated in favour of
+the facade, which validates the method name.
+"""
+
+from ...errors import SolverError
 from .result import SolveResult
 from .direct import (
     cholesky_factor,
@@ -10,7 +17,7 @@ from .direct import (
 )
 from .iterative import conjugate_gradient, jacobi, sor
 
-#: name -> callable(k, f, **kw) for benchmark sweeps
+#: name -> callable(k, f, **kw); enumerate for sweeps, call via solve_linear
 SOLVERS = {
     "sparse_lu": solve_sparse_lu,
     "cholesky": solve_cholesky,
@@ -22,6 +29,23 @@ SOLVERS = {
     "sor": sor,
 }
 
+
+def solve_linear(k, f, *, method: str = "sparse_lu", **kw) -> SolveResult:
+    """Solve ``k x = f`` with the named method from the solver registry.
+
+    The single facade over ``SOLVERS``: validates the method name (with
+    the available names in the error) and forwards solver keywords
+    (``tol``, ``max_iter``, ``preconditioner``, ...).
+    """
+    try:
+        solver = SOLVERS[method]
+    except KeyError:
+        raise SolverError(
+            f"unknown method {method!r}; one of {sorted(SOLVERS)}"
+        ) from None
+    return solver(k, f, **kw)
+
+
 __all__ = [
     "SolveResult",
     "cholesky_factor",
@@ -31,5 +55,6 @@ __all__ = [
     "conjugate_gradient",
     "jacobi",
     "sor",
+    "solve_linear",
     "SOLVERS",
 ]

@@ -52,6 +52,9 @@ class EventEngine:
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        #: optional span tracer (duck-typed; see repro.obs).  Dispatch is
+        #: recorded aggregate-only so million-event runs stay O(1) memory.
+        self.tracer = None
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run *delay* cycles from now."""
@@ -77,6 +80,14 @@ class EventEngine:
                 continue
             self.now = ev.time
             self.events_processed += 1
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.point(
+                    "hw.event",
+                    getattr(ev.fn, "__qualname__", "event"),
+                    ev.time,
+                    aggregate_only=True,
+                )
             ev.fn(*ev.args)
             return True
         return False

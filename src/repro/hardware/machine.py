@@ -82,11 +82,15 @@ class MachineConfig:
 class Machine:
     """An instantiated FEM-2 configuration under simulation."""
 
-    def __init__(self, config: MachineConfig) -> None:
+    def __init__(self, config: MachineConfig, tracer=None) -> None:
         config.validate()
         self.config = config
         self.engine = EventEngine()
         self.metrics = MetricsRegistry()
+        #: span tracer shared by every layer running on this machine
+        #: (duck-typed: a repro.obs.Tracer, or None for zero-cost off)
+        self.tracer = tracer
+        self.engine.tracer = tracer
         self.clusters: List[Cluster] = [
             Cluster(
                 self.engine,

@@ -13,7 +13,10 @@ from typing import Any, Iterable, List, Sequence, Tuple
 
 def broadcast(ctx, tids: Iterable[int], value: Any):
     """Send *value* to every task in *tids* (sub-generator)."""
+    tids = tuple(tids)
+    span = ctx.obs_begin("langvm.broadcast", "broadcast", targets=len(tids))
     yield ctx.broadcast(tids, value)
+    ctx.obs_end(span)
 
 
 def scatter_gather(
@@ -26,11 +29,14 @@ def scatter_gather(
     Unlike broadcast (same value to everyone) this distributes distinct
     work: the scatter half of the canonical scatter/gather round trip.
     """
+    span = ctx.obs_begin("langvm.scatter_gather", task_type,
+                         n=len(per_task_args))
     tids: List[int] = []
     for args in per_task_args:
         sub = yield ctx.initiate(task_type, *args, count=1, index_arg=False)
         tids.extend(sub)
     results = yield ctx.wait(tids)
+    ctx.obs_end(span, tasks=len(tids))
     return [results[t] for t in tids]
 
 

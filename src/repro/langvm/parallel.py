@@ -32,8 +32,10 @@ def forall(
     """Run *n* parallel iterations of *task_type*; gather ordered results."""
     if n < 1:
         raise LangVMError(f"forall needs at least one iteration, got {n}")
+    span = ctx.obs_begin("langvm.forall", task_type, n=n)
     tids = yield ctx.initiate(task_type, *args, count=n, cluster=cluster)
     results = yield ctx.wait(tids)
+    ctx.obs_end(span, tasks=len(tids))
     return [results[t] for t in tids]
 
 
@@ -41,6 +43,7 @@ def pardo(ctx, *statements: Tuple[str, Tuple[Any, ...]]):
     """Run heterogeneous statements in parallel; gather ordered results."""
     if not statements:
         raise LangVMError("pardo needs at least one statement")
+    span = ctx.obs_begin("langvm.pardo", statements[0][0], n=len(statements))
     all_tids: List[int] = []
     for stmt in statements:
         if len(stmt) == 2:
@@ -55,6 +58,7 @@ def pardo(ctx, *statements: Tuple[str, Tuple[Any, ...]]):
         )
         all_tids.extend(tids)
     results = yield ctx.wait(all_tids)
+    ctx.obs_end(span, tasks=len(all_tids))
     return [results[t] for t in all_tids]
 
 
@@ -75,6 +79,7 @@ def forall_windows(
     if axis is None:
         axis = 1 if window.shape[0] == 1 else 0
     parts = window.split_rows(n) if axis == 0 else window.split_cols(n)
+    span = ctx.obs_begin("langvm.forall", task_type, n=n, windowed=True)
     tids: List[int] = []
     for i, part in enumerate(parts):
         sub = yield ctx.initiate(
@@ -82,4 +87,5 @@ def forall_windows(
         )
         tids.extend(sub)
     results = yield ctx.wait(tids)
+    ctx.obs_end(span, tasks=len(tids))
     return [results[t] for t in tids]

@@ -134,8 +134,9 @@ class Fem2Program:
         placement: str = "round_robin",
         strict: bool = True,
         trace=None,
+        tracer=None,
     ) -> None:
-        self.machine = Machine(config or MachineConfig())
+        self.machine = Machine(config or MachineConfig(), tracer=tracer)
         self.runtime = Runtime(
             self.machine,
             dispatch_policy=dispatch_policy,
@@ -187,6 +188,11 @@ class Fem2Program:
     @property
     def metrics(self):
         return self.machine.metrics
+
+    @property
+    def tracer(self):
+        """The machine's span tracer (see :mod:`repro.obs`), or None."""
+        return self.machine.tracer
 
     @property
     def now(self) -> int:

@@ -97,6 +97,23 @@ class SimpleContext:
         """The task's activation record (local data)."""
         return self._tcb.record
 
+    # -- observability ------------------------------------------------------
+
+    def obs_begin(self, kind: str, label: str, **attrs):
+        """Open a span parented to this task's span; None when tracing is
+        off, so callers pass the result straight to :meth:`obs_end`."""
+        obs = self._runtime.obs
+        if obs is None or not obs.enabled:
+            return None
+        return obs.begin(
+            kind, label, self.now,
+            parent=self._runtime.span_of(self.task_id), **attrs,
+        )
+
+    def obs_end(self, span, **attrs) -> None:
+        if span is not None:
+            self._runtime.obs.end(span, self.now, **attrs)
+
 
 class Runtime:
     """One executing FEM-2 system: machine + operating system state."""
@@ -120,6 +137,13 @@ class Runtime:
         self.trace = trace
         self.data = DataStore(machine)
         self.metrics = machine.metrics
+        #: the machine's span tracer (duck-typed; see repro.obs), or None.
+        #: Tracing is observational only — it never charges cycles.
+        self.obs = machine.tracer
+        #: span to parent the next *root* task's span under (set by the
+        #: application layer around spawn so job → task trees link up)
+        self.obs_root_parent = None
+        self._task_spans: Dict[int, Any] = {}
         self.ctx_factory: Callable[["Runtime", TCB], Any] = SimpleContext
         #: optional observer called as hook(task_id, window, kind) for every
         #: window access; kind in {"read", "write", "accumulate"}
@@ -242,9 +266,31 @@ class Runtime:
             tcb.mailbox.extend(early["mail"])
             tcb.pending_resume = early["resume"]
         self.metrics.incr("task.initiated")
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            pspan = (
+                self._task_spans.get(parent)
+                if parent is not None
+                else self.obs_root_parent
+            )
+            span = obs.begin(
+                "sysvm.task", task_type, self.machine.now, parent=pspan,
+                tid=tcb.tid, cluster=cluster, parent_tid=parent,
+            )
+            self._task_spans[tcb.tid] = span
+            obs.point(
+                "sysvm.heap.alloc", task_type, self.machine.now, parent=span,
+                words=record.size_words, cluster=cluster,
+            )
         self.ready[cluster].push(tcb)
         self.kernels[cluster].kick()
         return tcb
+
+    def span_of(self, tid: Optional[int]):
+        """The open/closed span of a task, for causal parenting (or None)."""
+        if tid is None:
+            return None
+        return self._task_spans.get(tid)
 
     def _set_home(self, tid: int, cluster: int) -> None:
         if tid not in self._task_home:
@@ -329,6 +375,9 @@ class Runtime:
             self.data.drop_owned_by(tcb.tid)
         self.metrics.incr("task.completed")
         self.metrics.observe("task.turnaround", tcb.finished_at - tcb.created_at)
+        if self.obs is not None and self.obs.enabled:
+            self.obs.end(self._task_spans.get(tcb.tid), self.machine.now,
+                         outcome="done")
         if self.trace is not None:
             self.trace.record(
                 self.machine.now, "finish", tid=tcb.tid,
@@ -357,6 +406,9 @@ class Runtime:
         if not tcb.retain_data:
             self.data.drop_owned_by(tcb.tid)
         self.metrics.incr("task.failed")
+        if self.obs is not None and self.obs.enabled:
+            self.obs.end(self._task_spans.get(tcb.tid), self.machine.now,
+                         outcome="failed", error=repr(exc))
         if self.strict:
             raise SysVMError(f"task {tcb.tid} ({tcb.task_type}) failed") from exc
         if tcb.parent is not None:
@@ -377,6 +429,12 @@ class Runtime:
         encode(msg, src, dst)
         self.metrics.incr(f"comm.messages.{msg.kind.value}")
         self.metrics.incr(f"comm.message_words.{msg.kind.value}", msg.size_words)
+        if self.obs is not None and self.obs.enabled:
+            self.obs.point(
+                f"sysvm.msg.{msg.kind.value}", msg.kind.value, self.machine.now,
+                parent=self._task_spans.get(msg.src_task),
+                src=src, dst=dst, words=msg.size_words,
+            )
         if self.trace is not None:
             self.trace.record(
                 self.machine.now, "send", msg_kind=msg.kind.value,
@@ -388,6 +446,12 @@ class Runtime:
         """Kernel upcall: decode and execute one message."""
         payload = decode(msg)
         kind = msg.kind
+        if self.obs is not None and self.obs.enabled:
+            self.obs.point(
+                "sysvm.decode", kind.value, self.machine.now,
+                parent=self._task_spans.get(msg.src_task),
+                cluster=cluster_id, words=msg.size_words,
+            )
         if kind is MsgKind.INITIATE_TASK:
             self._handle_initiate(cluster_id, payload)
         elif kind is MsgKind.PAUSE_NOTIFY:

@@ -8,18 +8,22 @@ import pytest
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
-#: allowed dependencies between subpackages (besides self and errors)
+#: allowed dependencies between subpackages (besides self and errors).
+#: obs is the observability spine: it sits below every VM layer — it may
+#: import nothing above hardware (today: nothing at all); any layer may
+#: import it.
 ALLOWED = {
     "errors": set(),
     "hgraph": set(),
-    "hardware": set(),
-    "sysvm": {"hardware"},
-    "langvm": {"sysvm", "hardware"},
-    "fem": {"langvm", "sysvm", "hardware"},
-    "appvm": {"fem", "langvm", "sysvm", "hardware", "hgraph"},
+    "obs": set(),
+    "hardware": {"obs"},
+    "sysvm": {"hardware", "obs"},
+    "langvm": {"sysvm", "hardware", "obs"},
+    "fem": {"langvm", "sysvm", "hardware", "obs"},
+    "appvm": {"fem", "langvm", "sysvm", "hardware", "hgraph", "obs"},
     "core": {"hgraph"},
-    "analysis": {"fem", "hardware", "sysvm"},
-    "bench": {"appvm", "fem", "langvm", "hardware", "sysvm"},
+    "analysis": {"fem", "hardware", "sysvm", "obs"},
+    "bench": {"appvm", "fem", "langvm", "hardware", "sysvm", "obs"},
 }
 
 

@@ -1,0 +1,43 @@
+"""Smoke test: the benchmark driver produces valid machine-readable
+records for the acceptance trio (E1/E2/E9) plus the traced profile."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RUN_ALL = ROOT / "benchmarks" / "run_all.py"
+
+
+def test_run_all_quick_writes_valid_json(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, str(RUN_ALL), "--quick", "--out", str(tmp_path)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+    for key in ("e1", "e2", "e9"):
+        path = tmp_path / f"BENCH_{key}.json"
+        assert path.exists(), f"missing {path.name}: {proc.stderr}"
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "fem2-bench/1"
+        assert doc["bench"] == key
+        assert doc["records"], f"{key}: no experiment records"
+        for rec in doc["records"]:
+            assert rec["exp_id"]
+            assert rec["headers"]
+            assert rec["rows"], f"{rec['exp_id']}: empty table"
+            assert all(len(row) == len(rec["headers"]) for row in rec["rows"])
+
+    profile = json.loads((tmp_path / "BENCH_profile.json").read_text())
+    assert profile["bench"] == "profile"
+    kinds = profile["profile"]["kinds"]
+    # the four layers all show up in one traced solve
+    assert kinds["appvm.job"]["count"] == 1
+    assert kinds["sysvm.task"]["count"] >= 3
+    assert any(k.startswith("sysvm.msg.") for k in kinds)
+    assert any(k.startswith("langvm.") for k in kinds)
+    assert kinds["hw.event"]["count"] > 0
+    # the span tree roots at the job
+    assert any(node["kind"] == "appvm.job" for node in profile["tree"])
