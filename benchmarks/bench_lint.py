@@ -1,0 +1,68 @@
+"""LINT — static-analysis throughput over the repo itself.
+
+The linter runs inside ``MachineService.submit`` when the gate is on,
+so its host-side cost is part of the service's submission latency.
+This benchmark lints the shipped ``src/`` and ``examples/`` trees
+(the same corpus the tier-1 gate checks) and reports files/second and
+tasks/second, plus a per-corpus breakdown — the number that must stay
+flat as the rule set grows.
+"""
+
+import pathlib
+import time
+
+import pytest
+
+from conftest import run_once
+from repro.bench import Experiment
+from repro.lint import lint_paths
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def run_lint_corpus(paths, arch):
+    t0 = time.perf_counter()
+    report = lint_paths(paths, arch=arch)
+    elapsed = time.perf_counter() - t0
+    return report, elapsed
+
+
+def run_lint():
+    exp = Experiment("LINT", "static analyzer throughput on the repo corpus")
+    exp.set_headers("corpus", "files", "tasks", "errors", "warnings",
+                    "host ms", "files/sec")
+    corpora = {
+        "src": ([ROOT / "src"], True),
+        "examples": ([ROOT / "examples"], False),
+        "src+examples": ([ROOT / "src", ROOT / "examples"], True),
+    }
+    data = {}
+    for name, (paths, arch) in corpora.items():
+        report, elapsed = run_lint_corpus(paths, arch)
+        data[name] = (report, elapsed)
+        exp.add_row(
+            name, report.files_checked, report.tasks_checked,
+            len(report.errors), len(report.warnings),
+            round(1000.0 * elapsed, 1),
+            round(report.files_checked / elapsed, 1) if elapsed > 0 else 0.0,
+        )
+    exp.note("host time, not simulated cycles: the linter runs before "
+             "the machine, so its cost is submission latency")
+    return exp, data
+
+
+def bench_lint_throughput():
+    """Files/sec over the full corpus — recorded into the BENCH record."""
+    report, elapsed = run_lint_corpus([ROOT / "src", ROOT / "examples"], True)
+    return report.files_checked / elapsed if elapsed > 0 else 0.0
+
+
+def test_lint_throughput(benchmark, experiment_sink):
+    exp, data = run_once(benchmark, run_lint)
+    experiment_sink(exp)
+    for name, (report, _elapsed) in data.items():
+        assert report.clean, f"{name} corpus has findings: {report.render()}"
+    report, _ = data["src+examples"]
+    assert report.files_checked >= 100
+    assert report.tasks_checked >= 30
+    assert bench_lint_throughput() > 0

@@ -17,6 +17,7 @@ Usage::
     python benchmarks/run_all.py --only e3 e9    # a subset
     python benchmarks/run_all.py --json          # also dump JSON to stdout
     python benchmarks/run_all.py --out results/  # write elsewhere
+    python benchmarks/run_all.py --lint          # lint src/+examples/ first
 
 Tracing is observational only: cycle counts in these records are
 identical to an untraced run (asserted in ``tests/test_obs.py``).
@@ -55,6 +56,7 @@ BENCHES = {
     "a1": ("bench_a1_placement", "run_a1"),
     "a2": ("bench_a2_topology", "run_a2"),
     "a3": ("bench_a3_reduction", "run_a3"),
+    "lint": ("bench_lint", "run_lint"),
 }
 
 #: the acceptance trio: requirements, parallelism levels, solvers
@@ -144,7 +146,17 @@ def main(argv=None) -> int:
                     help="also dump all records as one JSON document to stdout")
     ap.add_argument("--no-profile", action="store_true",
                     help="skip the traced span profile")
+    ap.add_argument("--lint", action="store_true",
+                    help="self-check: lint src/ and examples/ first, "
+                         "exit non-zero on findings")
     args = ap.parse_args(argv)
+
+    if args.lint:
+        from repro.lint import lint_paths
+        report = lint_paths([ROOT / "src", ROOT / "examples"])
+        print(report.render(), file=sys.stderr)
+        if report.exit_code(strict=True):
+            return 1
 
     keys = args.only or (list(QUICK) if args.quick else list(BENCHES))
     args.out.mkdir(parents=True, exist_ok=True)

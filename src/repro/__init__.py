@@ -15,6 +15,7 @@ every layer as running code:
 * :mod:`repro.core`     — the design method itself (the contribution)
 * :mod:`repro.analysis` — requirement estimation (Adams & Voigt, ref [8])
 * :mod:`repro.obs`      — observability spine: spans + structured export
+* :mod:`repro.lint`     — static race/deadlock/architecture analyzer
 * :mod:`repro.bench`    — workloads and the experiment harness
 
 Quickstart::
@@ -33,7 +34,19 @@ Quickstart::
     print(ci.execute("show displacements tip"))
 """
 
-from . import analysis, appvm, bench, core, fem, hardware, hgraph, langvm, obs, sysvm
+from . import (
+    analysis,
+    appvm,
+    bench,
+    core,
+    fem,
+    hardware,
+    hgraph,
+    langvm,
+    lint,
+    obs,
+    sysvm,
+)
 from .errors import Fem2Error
 from .hardware import Machine, MachineConfig
 from .langvm import Fem2Program
@@ -51,6 +64,7 @@ __all__ = [
     "hardware",
     "hgraph",
     "langvm",
+    "lint",
     "obs",
     "sysvm",
     "Fem2Error",

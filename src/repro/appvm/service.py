@@ -28,7 +28,11 @@ from ..fem import (
 )
 from ..hardware.machine import MachineConfig
 from ..langvm import Fem2Program
+from ..lint import lint_program
 from .model import AnalysisResult, StructureModel
+
+#: accepted values for MachineService.submit(lint=...)
+LINT_MODES = ("off", "warn", "error")
 
 
 class JobHandle:
@@ -75,6 +79,7 @@ class MachineService:
         self.config = config or MachineConfig(memory_words_per_cluster=16_000_000)
         self.program = Fem2Program(self.config, tracer=tracer)
         self._pending: List[JobHandle] = []
+        self._lint_cache: Dict[tuple, object] = {}
         self.completed_batches = 0
 
     @property
@@ -82,8 +87,21 @@ class MachineService:
         return self.program.tracer
 
     def submit(self, user: str, model: StructureModel, load_set: str, *,
-               workers: int = 2, tol: float = 1e-9) -> JobHandle:
-        """Queue one user's solve; nothing runs until :meth:`run`."""
+               workers: int = 2, tol: float = 1e-9,
+               lint: str = "off") -> JobHandle:
+        """Queue one user's solve; nothing runs until :meth:`run`.
+
+        ``lint`` gates the submission on :func:`repro.lint.lint_program`
+        over every task type registered on the service's program:
+        ``"error"`` rejects a program with error-severity findings
+        before any task is spawned, ``"warn"`` emits warnings instead,
+        ``"off"`` (the default) skips the check entirely.
+        """
+        if lint not in LINT_MODES:
+            raise AppVMError(
+                f"lint must be one of {LINT_MODES}, got {lint!r}")
+        if lint != "off":
+            self._lint_gate(lint)
         mesh = model.require_mesh()
         constraints = model.require_constraints()
         loads = model.load_set(load_set)
@@ -107,6 +125,23 @@ class MachineService:
             runtime.obs_root_parent = None
         self._pending.append(handle)
         return handle
+
+    def _lint_gate(self, mode: str) -> None:
+        """Run :func:`repro.lint.lint_program` over the registered task
+        set (cached per registry state) and enforce its findings."""
+        key = tuple(self.program.runtime.registry.types())
+        report = self._lint_cache.get(key)
+        if report is None:
+            report = lint_program(self.program)
+            self._lint_cache[key] = report
+        report.emit(self.program.runtime.obs, self.program.now)
+        if report.clean:
+            return
+        rendered = "; ".join(f.render() for f in report.findings)
+        if mode == "error" and report.errors:
+            raise AppVMError(f"program rejected by static analysis: {rendered}")
+        warnings.warn(f"static analysis findings: {rendered}",
+                      UserWarning, stacklevel=3)
 
     def run(self) -> List[JobHandle]:
         """Run every submitted job concurrently; resolves their handles."""

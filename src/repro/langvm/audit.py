@@ -7,8 +7,9 @@ through the run-time's hook and reports:
 * per-array access counts by kind and task,
 * **conflicts**: overlapping plain-write regions touched by different
   tasks (accumulating writes commute and are exempt — that is exactly
-  why the FEM assembly uses them), and write regions also plainly
-  written by the owner-side reader set is left to the analyst.
+  why the FEM assembly uses them).  Read-write interleavings are not
+  flagged: reads are ordered by the wait discipline, so judging them
+  is left to the analyst (and to :mod:`repro.lint`'s W2 check).
 
 Attach with :meth:`WindowAudit.attach`; the hook costs nothing when not
 installed.

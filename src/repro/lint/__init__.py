@@ -1,0 +1,98 @@
+"""repro.lint — static race, deadlock, and architecture analyzer.
+
+The run-time layers enforce the FEM-2 data-control rules per access;
+this package rejects whole classes of violation *before* a single
+simulated cycle is spent.  Three entry points:
+
+* :func:`lint_program` — inspect a built :class:`~repro.langvm.Fem2Program`'s
+  registered task generators (used by ``MachineService.submit(lint=...)``),
+* :func:`lint_paths` / :func:`lint_source` — lint files or source text,
+* ``python -m repro.lint [paths...]`` — the CLI (repo architecture
+  included when a ``repro`` package root is among the paths).
+
+Program findings carry stable codes (W1 write-write race, W2 unwaited
+read-write race, D1 missing wait / initiate cycle, O1 raw storage on a
+non-owned handle); architecture findings use A1 (layering), A2 (span
+balance), A3 (public-API drift).  Every finding has file:line and a
+severity, and the report exports to the same plain-record form as the
+:mod:`repro.obs` spine.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import List
+
+from .api import check_package_api, check_public_api
+from .astutil import TaskInfo, analyze_task, collect_tasks
+from .cli import lint_files, lint_paths, lint_source, main
+from .findings import CODES, SCHEMA, Finding, LintReport
+from .layering import ALLOWED, check_layering, layering_violations
+from .program import check_d1, check_o1, check_tasks, check_w1, check_w2
+from .spans import check_span_balance
+
+
+def lint_program(program) -> LintReport:
+    """Lint every task type registered on a built program.
+
+    Walks the program's :class:`~repro.sysvm.code.CodeRegistry`, recovers
+    each task body's source via :mod:`inspect`, and runs the program
+    checkers (W1/W2/D1/O1) over the resulting task set.  Bodies whose
+    source cannot be recovered (built in a REPL, generated) are skipped
+    — the run-time audit still covers them.
+    """
+    registry = program.runtime.registry
+    tasks: List[TaskInfo] = []
+    files = set()
+    for name in registry.types():
+        body = registry.get(name).body
+        try:
+            src = textwrap.dedent(inspect.getsource(body))
+            file = inspect.getsourcefile(body) or "<unknown>"
+            _, start = inspect.getsourcelines(body)
+        except (OSError, TypeError):
+            continue
+        try:
+            tree = ast.parse(src)
+        except SyntaxError:
+            continue
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                # snippet line k is file line start + k - 1 (the snippet
+                # begins at the decorator, which getsourcelines includes)
+                tasks.append(analyze_task(node, file, registered_name=name,
+                                          line_offset=start - 1))
+                files.add(file)
+                break
+    report = LintReport(files_checked=len(files), tasks_checked=len(tasks))
+    report.extend(check_tasks(tasks))
+    return report
+
+
+__all__ = [
+    "ALLOWED",
+    "CODES",
+    "SCHEMA",
+    "Finding",
+    "LintReport",
+    "TaskInfo",
+    "analyze_task",
+    "check_d1",
+    "check_layering",
+    "check_o1",
+    "check_package_api",
+    "check_public_api",
+    "check_span_balance",
+    "check_tasks",
+    "check_w1",
+    "check_w2",
+    "collect_tasks",
+    "layering_violations",
+    "lint_files",
+    "lint_paths",
+    "lint_program",
+    "lint_source",
+    "main",
+]

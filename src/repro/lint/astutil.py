@@ -1,0 +1,428 @@
+"""AST extraction shared by the program checkers.
+
+A *task function* is a generator function whose first parameter is
+``ctx`` — the numerical analyst's task-body idiom throughout this repo
+(decorated with ``@prog.task()``, registered via ``prog.define``, or a
+``yield from`` sub-generator).  :func:`collect_tasks` walks a module
+AST and summarizes every task function into a :class:`TaskInfo`:
+
+* which parameters it plain-writes / accumulates / reads through
+  ``ctx.write`` / ``ctx.accumulate`` / ``ctx.read``,
+* which handles it creates locally (``ctx.create`` / ``ctx.zeros``),
+* every initiation site (``ctx.initiate``, ``forall``, ``pardo``,
+  ``scatter_gather``) with replication and conditionality facts,
+* the ordered read/initiate/wait event stream used by the W2 checker.
+
+Everything is deliberately conservative: only windows passed *by name*
+are tracked, so derived windows (``vec(...)``, ``w.split_rows(...)``)
+never produce false positives — the dynamic :class:`~repro.langvm.audit.WindowAudit`
+remains the backstop for those.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_tail(call: ast.Call) -> Optional[str]:
+    """The final attribute (or bare name) of a call's function."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def literal_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def literal_int(node: ast.AST) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    return None
+
+
+def keyword_arg(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def contains_yield(fn: ast.FunctionDef) -> bool:
+    """True when *fn* itself (not a nested def) contains yield."""
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)) \
+                and node is not fn:
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            # make sure the yield belongs to fn, not a nested function
+            return _owns(fn, node)
+    return False
+
+
+def _owns(fn: ast.FunctionDef, target: ast.AST) -> bool:
+    """Whether *target* is in *fn*'s own scope (skips nested defs)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if node is target:
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def is_task_function(fn: ast.AST) -> bool:
+    return (
+        isinstance(fn, ast.FunctionDef)
+        and bool(fn.args.args)
+        and fn.args.args[0].arg == "ctx"
+        and contains_yield(fn)
+    )
+
+
+def _contains_exit(node: ast.AST) -> bool:
+    return any(isinstance(n, (ast.Return, ast.Raise)) for n in ast.walk(node))
+
+
+@dataclass
+class InitiateSite:
+    """One task-initiation point inside a task body."""
+
+    line: int
+    task_type: Optional[str]        # literal type name, or None if dynamic
+    arg_names: Tuple[Optional[str], ...]  # positional args that are bare names
+    replicated: bool                # same args fanned out to > 1 replication
+    conditional: bool               # guarded by if / early return / try
+    assigned: Tuple[str, ...]       # names bound to the returned tids
+    discarded: bool                 # bare `yield ctx.initiate(...)` statement
+    waits_inline: bool = False      # forall/pardo/... wait internally
+
+
+@dataclass
+class Event:
+    """One entry of the ordered event stream (for the W2 walk)."""
+
+    kind: str                       # "initiate" | "read" | "wait"
+    line: int
+    name: Optional[str] = None      # window name for reads
+    site: Optional[InitiateSite] = None
+
+
+@dataclass
+class TaskInfo:
+    """Static summary of one task function."""
+
+    name: str                       # registered task-type name (or func name)
+    func_name: str
+    file: str
+    line: int
+    params: Tuple[str, ...]         # parameters after ctx
+    plain_writes: Set[str] = field(default_factory=set)
+    accumulates: Set[str] = field(default_factory=set)
+    reads: Set[str] = field(default_factory=set)
+    created: Set[str] = field(default_factory=set)   # handles made locally
+    local_uses: List[Tuple[int, str]] = field(default_factory=list)
+    initiates: List[InitiateSite] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)
+    pardo_groups: List[Tuple[int, List[Tuple[Optional[str],
+                                             Tuple[Optional[str], ...]]]]] = \
+        field(default_factory=list)
+    waits: int = 0
+    name_uses: Dict[str, int] = field(default_factory=dict)
+
+    def writes_param(self, position: int) -> Optional[str]:
+        """The param name at *position* if this task plain-writes it."""
+        if 0 <= position < len(self.params):
+            p = self.params[position]
+            if p in self.plain_writes:
+                return p
+        return None
+
+
+#: sub-generator helpers that initiate replications and wait inline
+_FANOUT_HELPERS = ("forall", "pardo", "scatter_gather", "forall_windows",
+                   "flat_reduce", "tree_reduce")
+
+
+class _TaskVisitor:
+    """Single ordered walk over one task function's statements."""
+
+    def __init__(self, fn: ast.FunctionDef, info: TaskInfo, offset: int) -> None:
+        self.fn = fn
+        self.info = info
+        self.offset = offset
+        self.ctx = fn.args.args[0].arg
+
+    def line(self, node: ast.AST) -> int:
+        return node.lineno + self.offset
+
+    def run(self) -> None:
+        self._walk(self.fn.body, guarded=False, conditional=False)
+        self._count_name_uses()
+
+    # -- statement walk ----------------------------------------------------
+
+    def _walk(self, stmts: Sequence[ast.stmt], guarded: bool,
+              conditional: bool) -> None:
+        for stmt in stmts:
+            self._statement(stmt, guarded or conditional)
+            if isinstance(stmt, (ast.If, ast.Try)) and _contains_exit(stmt):
+                # later siblings only run when this branch fell through
+                guarded = True
+            if isinstance(stmt, ast.If):
+                self._walk(stmt.body, guarded, True)
+                self._walk(stmt.orelse, guarded, True)
+            elif isinstance(stmt, (ast.For, ast.While)):
+                self._walk(stmt.body, guarded, conditional)
+                self._walk(stmt.orelse, guarded, True)
+            elif isinstance(stmt, ast.With):
+                self._walk(stmt.body, guarded, conditional)
+            elif isinstance(stmt, ast.Try):
+                self._walk(stmt.body, guarded, True)
+                for handler in stmt.handlers:
+                    self._walk(handler.body, guarded, True)
+                self._walk(stmt.orelse, guarded, True)
+                self._walk(stmt.finalbody, guarded, conditional)
+
+    def _statement(self, stmt: ast.stmt, conditional: bool) -> None:
+        if isinstance(stmt, ast.Expr):
+            self._expression(stmt.value, assigned=(), discarded=True,
+                             conditional=conditional)
+        elif isinstance(stmt, ast.Assign):
+            names = self._target_names(stmt.targets)
+            self._expression(stmt.value, assigned=names, discarded=not names,
+                             conditional=conditional)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            names = self._target_names([stmt.target])
+            self._expression(stmt.value, assigned=names, discarded=not names,
+                             conditional=conditional)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._expression(stmt.value, assigned=(), discarded=False,
+                             conditional=conditional)
+
+    @staticmethod
+    def _target_names(targets: Sequence[ast.AST]) -> Tuple[str, ...]:
+        names: List[str] = []
+        for t in targets:
+            if isinstance(t, ast.Name):
+                names.append(t.id)
+            elif isinstance(t, (ast.Tuple, ast.List)):
+                names.extend(e.id for e in t.elts if isinstance(e, ast.Name))
+        return tuple(names)
+
+    # -- expression classification -----------------------------------------
+
+    def _expression(self, value: ast.AST, assigned: Tuple[str, ...],
+                    discarded: bool, conditional: bool) -> None:
+        # unwrap `yield <call>` and `yield from <call>`
+        if isinstance(value, (ast.Yield, ast.YieldFrom)) and value.value is not None:
+            value = value.value
+        if not isinstance(value, ast.Call):
+            return
+        call = value
+        tail = call_tail(call)
+        is_ctx = (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == self.ctx
+        )
+        if is_ctx:
+            self._ctx_call(call, tail, assigned, discarded, conditional)
+        elif tail in _FANOUT_HELPERS and self._first_arg_is_ctx(call):
+            self._helper_call(call, tail, conditional)
+
+    def _first_arg_is_ctx(self, call: ast.Call) -> bool:
+        return bool(call.args) and isinstance(call.args[0], ast.Name) \
+            and call.args[0].id == self.ctx
+
+    def _ctx_call(self, call: ast.Call, tail: Optional[str],
+                  assigned: Tuple[str, ...], discarded: bool,
+                  conditional: bool) -> None:
+        info, line = self.info, self.line(call)
+        first = call.args[0] if call.args else None
+        first_name = first.id if isinstance(first, ast.Name) else None
+        if tail == "write" and first_name:
+            info.plain_writes.add(first_name)
+        elif tail == "accumulate" and first_name:
+            info.accumulates.add(first_name)
+        elif tail == "read" and first_name:
+            info.reads.add(first_name)
+            info.events.append(Event("read", line, name=first_name))
+        elif tail in ("create", "zeros"):
+            info.created.update(assigned)
+        elif tail == "local" and first_name:
+            info.local_uses.append((line, first_name))
+        elif tail in ("wait", "wait_pause"):
+            info.waits += 1
+            info.events.append(Event("wait", line))
+        elif tail == "initiate":
+            count = keyword_arg(call, "count")
+            count_val = literal_int(count) if count is not None else 1
+            replicated = count is not None and (count_val is None or count_val > 1)
+            site = InitiateSite(
+                line=line,
+                task_type=literal_str(call.args[0]) if call.args else None,
+                arg_names=tuple(
+                    a.id if isinstance(a, ast.Name) else None
+                    for a in call.args[1:]
+                ),
+                replicated=replicated,
+                conditional=conditional,
+                assigned=assigned,
+                discarded=discarded,
+            )
+            info.initiates.append(site)
+            info.events.append(Event("initiate", line, site=site))
+
+    def _helper_call(self, call: ast.Call, tail: str, conditional: bool) -> None:
+        """forall/pardo/scatter_gather: initiate-and-wait sub-generators."""
+        info, line = self.info, self.line(call)
+        if tail in ("forall", "flat_reduce", "tree_reduce"):
+            # forall(ctx, "type", n=?, args=(...)): identical args fan out
+            task_type = literal_str(call.args[1]) if len(call.args) > 1 else None
+            n = keyword_arg(call, "n") or (call.args[2] if len(call.args) > 2 else None)
+            n_val = literal_int(n) if n is not None else None
+            args_kw = keyword_arg(call, "args") or \
+                (call.args[3] if len(call.args) > 3 else None)
+            arg_names: Tuple[Optional[str], ...] = ()
+            if isinstance(args_kw, (ast.Tuple, ast.List)):
+                arg_names = tuple(
+                    a.id if isinstance(a, ast.Name) else None
+                    for a in args_kw.elts
+                )
+            site = InitiateSite(
+                line=line, task_type=task_type, arg_names=arg_names,
+                replicated=(n_val is None or n_val > 1),
+                conditional=conditional, assigned=(), discarded=False,
+                waits_inline=True,
+            )
+            info.initiates.append(site)
+            info.events.append(Event("initiate", line, site=site))
+            info.events.append(Event("wait", line))
+        elif tail == "pardo":
+            stmts: List[Tuple[Optional[str], Tuple[Optional[str], ...]]] = []
+            for stmt in call.args[1:]:
+                parsed = self._pardo_statement(stmt)
+                if parsed is not None:
+                    stmts.append(parsed)
+                    site = InitiateSite(
+                        line=line, task_type=parsed[0], arg_names=parsed[1],
+                        replicated=False, conditional=conditional,
+                        assigned=(), discarded=False, waits_inline=True,
+                    )
+                    info.initiates.append(site)
+                    info.events.append(Event("initiate", line, site=site))
+            if stmts:
+                info.pardo_groups.append((line, stmts))
+            info.events.append(Event("wait", line))
+        elif tail == "scatter_gather":
+            # scatter_gather(ctx, "type", [(a,), (b,), ...])
+            task_type = literal_str(call.args[1]) if len(call.args) > 1 else None
+            per_task = call.args[2] if len(call.args) > 2 else \
+                keyword_arg(call, "per_task_args")
+            stmts = []
+            if isinstance(per_task, (ast.List, ast.Tuple)):
+                for entry in per_task.elts:
+                    if isinstance(entry, (ast.Tuple, ast.List)):
+                        stmts.append((task_type, tuple(
+                            a.id if isinstance(a, ast.Name) else None
+                            for a in entry.elts
+                        )))
+            if stmts:
+                info.pardo_groups.append((line, stmts))
+            info.events.append(Event("wait", line))
+        elif tail == "forall_windows":
+            # each replication receives its *own* sub-window: not a shared
+            # write target, so no W1 site; it waits inline.
+            info.events.append(Event("wait", line))
+
+    @staticmethod
+    def _pardo_statement(stmt: ast.AST) \
+            -> Optional[Tuple[Optional[str], Tuple[Optional[str], ...]]]:
+        """Parse a pardo ("type", (args...)[, cluster]) tuple literal."""
+        if not isinstance(stmt, (ast.Tuple, ast.List)) or len(stmt.elts) < 2:
+            return None
+        task_type = literal_str(stmt.elts[0])
+        args = stmt.elts[1]
+        if not isinstance(args, (ast.Tuple, ast.List)):
+            return None
+        return task_type, tuple(
+            a.id if isinstance(a, ast.Name) else None for a in args.elts
+        )
+
+    # -- post-pass: name usage (for D1's escape analysis) ------------------
+
+    def _count_name_uses(self) -> None:
+        uses: Dict[str, int] = {}
+        for node in ast.walk(self.fn):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                uses[node.id] = uses.get(node.id, 0) + 1
+        self.info.name_uses = uses
+
+
+def analyze_task(fn: ast.FunctionDef, file: str, registered_name: str,
+                 line_offset: int = 0) -> TaskInfo:
+    """Summarize one task function into a :class:`TaskInfo`."""
+    info = TaskInfo(
+        name=registered_name,
+        func_name=fn.name,
+        file=file,
+        line=fn.lineno + line_offset,
+        params=tuple(a.arg for a in fn.args.args[1:]),
+    )
+    _TaskVisitor(fn, info, line_offset).run()
+    return info
+
+
+def registered_names(tree: ast.Module) -> Dict[str, str]:
+    """Map function name -> registered task-type name for a module.
+
+    Understands ``@prog.task()`` / ``@prog.task("name")`` decorators and
+    literal ``prog.define("name", func)`` calls.
+    """
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            for dec in node.decorator_list:
+                if isinstance(dec, ast.Call) and call_tail(dec) == "task":
+                    arg = literal_str(dec.args[0]) if dec.args else None
+                    names[node.name] = arg or node.name
+        elif isinstance(node, ast.Call) and call_tail(node) == "define":
+            if len(node.args) >= 2 and isinstance(node.args[1], ast.Name):
+                reg = literal_str(node.args[0])
+                if reg:
+                    names[node.args[1].id] = reg
+    return names
+
+
+def collect_tasks(tree: ast.Module, file: str,
+                  line_offset: int = 0) -> List[TaskInfo]:
+    """Every task function in a module AST, summarized."""
+    reg = registered_names(tree)
+    tasks: List[TaskInfo] = []
+    for node in ast.walk(tree):
+        if is_task_function(node):
+            name = reg.get(node.name, node.name)
+            tasks.append(analyze_task(node, file, name, line_offset))
+    return tasks

@@ -1,0 +1,158 @@
+"""``python -m repro.lint`` — lint FEM-2 programs and the repo layout.
+
+Usage::
+
+    python -m repro.lint                    # lint ./src and ./examples
+    python -m repro.lint src/ examples/     # explicit paths
+    python -m repro.lint path/to/prog.py    # one program file
+    python -m repro.lint --json ...         # machine-readable report
+    python -m repro.lint --strict ...       # warnings also fail
+
+Program checkers (W1/W2/D1/O1) run over every task function found in
+the given files; task registries are resolved across *all* given files,
+so a program initiating a task type registered in another linted file
+is checked against that type's real behaviour.  Architecture checkers
+(A1 layering, A2 span balance, A3 public-API drift) run whenever a
+``repro`` package root is among the paths.
+
+Exit status: 1 when any error-severity finding exists (or any finding
+at all under ``--strict``), else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import pathlib
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+from .api import check_public_api
+from .astutil import TaskInfo, collect_tasks
+from .findings import Finding, LintReport
+from .layering import check_layering
+from .program import check_tasks
+from .spans import check_span_balance
+
+
+def iter_py_files(paths: Sequence[pathlib.Path]) -> List[pathlib.Path]:
+    files: List[pathlib.Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    # de-duplicate while keeping order (overlapping path arguments)
+    seen = set()
+    out = []
+    for f in files:
+        r = f.resolve()
+        if r not in seen:
+            seen.add(r)
+            out.append(f)
+    return out
+
+
+def find_repro_roots(paths: Sequence[pathlib.Path]) -> List[pathlib.Path]:
+    """``.../repro`` package dirs reachable from the given paths."""
+    roots = []
+    for path in paths:
+        if not path.is_dir():
+            continue
+        if path.name == "repro" and (path / "__init__.py").exists():
+            roots.append(path)
+            continue
+        for candidate in (path / "repro", path / "src" / "repro"):
+            if (candidate / "__init__.py").exists():
+                roots.append(candidate)
+    return roots
+
+
+def lint_files(files: Sequence[pathlib.Path],
+               report: Optional[LintReport] = None) -> LintReport:
+    """Program + per-file architecture checks over a set of files."""
+    report = report or LintReport()
+    tasks: List[TaskInfo] = []
+    findings: List[Finding] = []
+    for f in files:
+        try:
+            tree = ast.parse(f.read_text())
+        except (SyntaxError, ValueError) as exc:
+            lineno = getattr(exc, "lineno", 1) or 1
+            findings.append(Finding("E0", f"cannot parse: {exc}", str(f), lineno))
+            continue
+        tasks.extend(collect_tasks(tree, str(f)))
+        findings.extend(check_span_balance(tree, str(f)))
+        if f.name == "__init__.py":
+            findings.extend(check_public_api(tree, str(f)))
+        report.files_checked += 1
+    findings.extend(check_tasks(tasks))
+    report.tasks_checked += len(tasks)
+    report.extend(findings)
+    return report
+
+
+def lint_paths(paths: Iterable, arch: bool = True) -> LintReport:
+    """Lint files and (when a repro root is present) the architecture."""
+    paths = [pathlib.Path(p) for p in paths]
+    report = lint_files(iter_py_files(paths))
+    if arch:
+        for root in find_repro_roots(paths):
+            report.extend(check_layering(root))
+    return report
+
+
+def lint_source(source: str, filename: str = "<string>") -> LintReport:
+    """Lint one program given as source text (test/tooling entry point)."""
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.extend([Finding("E0", f"cannot parse: {exc.msg}", filename,
+                               exc.lineno or 1)])
+        return report
+    tasks = collect_tasks(tree, filename)
+    report.tasks_checked = len(tasks)
+    report.extend(check_tasks(tasks))
+    report.extend(check_span_balance(tree, filename))
+    return report
+
+
+def _default_paths() -> List[str]:
+    cwd = pathlib.Path.cwd()
+    found = [str(p) for p in (cwd / "src", cwd / "examples") if p.is_dir()]
+    if found:
+        return found
+    # fall back to the installed package itself
+    return [str(pathlib.Path(__file__).resolve().parents[1])]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static race, deadlock, and architecture analyzer "
+                    "for FEM-2 programs.",
+    )
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to lint "
+                         "(default: ./src and ./examples)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the report as one JSON document")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero on warnings too")
+    ap.add_argument("--no-arch", action="store_true",
+                    help="skip the architecture checkers (A1 layering)")
+    args = ap.parse_args(argv)
+
+    paths = args.paths or _default_paths()
+    report = lint_paths(paths, arch=not args.no_arch)
+    if args.json:
+        print(json.dumps(report.to_record(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

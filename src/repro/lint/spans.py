@@ -1,0 +1,159 @@
+"""A2 — every ``obs_begin`` must reach an ``obs_end`` on every code path.
+
+An unbalanced span stays open forever: it reports zero cycles, skews
+the per-kind aggregates, and orphans every later child in the profile
+tree.  This checker walks each function with a path-sensitive scan:
+
+* ``name = ctx.obs_begin(...)`` / ``name = obs.begin(...)`` opens a
+  tracked span (simple name targets only),
+* ``ctx.obs_end(name, ...)`` / ``obs.end(name, ...)`` closes it,
+* a tracked name that *escapes* — stored into an attribute, a
+  container, returned, or passed to any other call — is deliberately
+  long-lived (e.g. a job span closed by a later method) and is dropped
+  from tracking rather than flagged,
+* at each ``return`` and at function fall-through, any still-open
+  tracked span is a finding.
+
+Exception paths (``raise``) are not flagged: spans interrupted by
+errors are closed by the runtime's failure handling, and a lint that
+demanded try/finally around every span would fight the house style.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from .astutil import call_tail
+from .findings import Finding
+
+#: receiver names that make a bare ``.begin`` / ``.end`` span-like
+_TRACERISH = ("obs", "tracer")
+
+
+def _is_begin(call: ast.Call) -> bool:
+    tail = call_tail(call)
+    if tail == "obs_begin":
+        return True
+    if tail == "begin" and isinstance(call.func, ast.Attribute) \
+            and isinstance(call.func.value, ast.Name) \
+            and call.func.value.id in _TRACERISH:
+        return True
+    return False
+
+
+def _is_end(call: ast.Call) -> bool:
+    tail = call_tail(call)
+    if tail == "obs_end":
+        return True
+    if tail == "end" and isinstance(call.func, ast.Attribute) \
+            and isinstance(call.func.value, ast.Name) \
+            and call.func.value.id in _TRACERISH:
+        return True
+    return False
+
+
+class _SpanScan:
+    def __init__(self, fn: ast.FunctionDef, file: str, offset: int) -> None:
+        self.fn = fn
+        self.file = file
+        self.offset = offset
+        self.opened_at: Dict[str, int] = {}
+        self.findings: List[Finding] = []
+        self.flagged: Set[str] = set()
+
+    def run(self) -> List[Finding]:
+        leftover = self._scan(self.fn.body, set())
+        self._flag(leftover, self.fn.lineno + self.offset, "function exit")
+        return self.findings
+
+    # -- the path walk -----------------------------------------------------
+
+    def _scan(self, stmts, open_spans: Set[str]) -> Set[str]:
+        open_spans = set(open_spans)
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name) \
+                    and isinstance(stmt.value, ast.Call) \
+                    and _is_begin(stmt.value):
+                name = stmt.targets[0].id
+                open_spans.add(name)
+                self.opened_at[name] = stmt.lineno + self.offset
+            elif isinstance(stmt, ast.If):
+                body_out = self._scan(stmt.body, open_spans)
+                else_out = self._scan(stmt.orelse, open_spans)
+                # a span must be closed on *every* path: still-open on any
+                # branch means still-open after the if
+                open_spans = body_out | else_out
+            elif isinstance(stmt, (ast.For, ast.While)):
+                open_spans = self._scan(stmt.body, open_spans)
+                open_spans = self._scan(stmt.orelse, open_spans)
+            elif isinstance(stmt, ast.With):
+                open_spans = self._scan(stmt.body, open_spans)
+            elif isinstance(stmt, ast.Try):
+                open_spans = self._scan(stmt.body, open_spans)
+                for handler in stmt.handlers:
+                    open_spans |= self._scan(handler.body, open_spans)
+                open_spans = self._scan(stmt.orelse, open_spans)
+                open_spans = self._scan(stmt.finalbody, open_spans)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                pass  # nested scopes get their own scan
+            else:
+                open_spans -= self._ends_in(stmt)
+                open_spans -= self._escapes_in(stmt, open_spans)
+                if isinstance(stmt, ast.Return):
+                    self._flag(open_spans, stmt.lineno + self.offset, "return")
+                    open_spans.clear()
+        return open_spans
+
+    def _ends_in(self, stmt: ast.stmt) -> Set[str]:
+        """Span names passed first to an obs_end/end call inside *stmt*."""
+        closed: Set[str] = set()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and _is_end(node) and node.args \
+                    and isinstance(node.args[0], ast.Name):
+                closed.add(node.args[0].id)
+        return closed
+
+    def _escapes_in(self, stmt: ast.stmt, candidates: Set[str]) -> Set[str]:
+        """Tracked spans whose name is used outside an end call: stored,
+        returned, or handed to other code — ownership left this scope."""
+        if not candidates:
+            return set()
+        escaped: Set[str] = set()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and _is_end(node):
+                continue
+            if isinstance(node, ast.Name) and node.id in candidates:
+                # a Load that is not the first arg of an end call
+                if isinstance(node.ctx, ast.Load):
+                    escaped.add(node.id)
+        # uses inside end calls were walked too; subtract them back out
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and _is_end(node) and node.args \
+                    and isinstance(node.args[0], ast.Name):
+                escaped.discard(node.args[0].id)
+        return escaped
+
+    def _flag(self, open_spans: Set[str], line: int, where: str) -> None:
+        for name in sorted(open_spans - self.flagged):
+            self.flagged.add(name)
+            self.findings.append(Finding(
+                "A2",
+                f"span {name!r} opened at line {self.opened_at.get(name, line)} "
+                f"is not obs_end-ed before {where} — it stays open and skews "
+                f"the profile",
+                self.file, self.opened_at.get(name, line),
+                severity="warning",
+            ))
+
+
+def check_span_balance(tree: ast.Module, file: str,
+                       line_offset: int = 0) -> List[Finding]:
+    """A2 findings for every function in a module AST."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            findings.extend(_SpanScan(node, file, line_offset).run())
+    return findings

@@ -80,3 +80,30 @@ class TestMachineService:
         r2 = service.run_batch()
         assert r2["u"].max_displacement() > r1["u"].max_displacement()
         assert service.completed_batches == 2
+
+
+class TestRunBatchDeprecation:
+    def test_run_batch_warns(self):
+        service = make_service()
+        service.submit("u", make_model("m"), "case")
+        with pytest.warns(DeprecationWarning, match="run_batch"):
+            service.run_batch()
+
+    def test_run_batch_matches_submit_and_run(self):
+        """The deprecated wrapper returns exactly what run() + per-handle
+        result() produce — same users, same displacement fields."""
+        new = make_service()
+        handles = {u: new.submit(u, make_model(f"m_{u}"), "case")
+                   for u in ("alice", "bob")}
+        new.run()
+
+        old = make_service()
+        for u in ("alice", "bob"):
+            old.submit(u, make_model(f"m_{u}"), "case")
+        with pytest.warns(DeprecationWarning):
+            batch = old.run_batch()
+
+        assert set(batch) == set(handles)
+        for u, handle in handles.items():
+            assert np.allclose(batch[u].u, handle.result().u)
+            assert batch[u].model_name == handle.result().model_name

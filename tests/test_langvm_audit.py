@@ -15,15 +15,21 @@ def make_program():
     return Fem2Program(cfg)
 
 
-def run_writers(regions, accumulate=False):
-    """Two tasks writing the given regions of one shared 8x8 array."""
+def run_writers(regions, accumulate=False, kinds=None):
+    """Tasks writing the given regions of one shared 8x8 array.
+
+    ``kinds`` gives a per-region access kind ("write" | "accumulate");
+    ``accumulate=True`` is shorthand for accumulating everywhere.
+    """
+    if kinds is None:
+        kinds = ["accumulate" if accumulate else "write"] * len(regions)
     prog = make_program()
     audit = WindowAudit.on(prog)
 
     @prog.task()
-    def writer(ctx, win, index):
+    def writer(ctx, win, kind):
         data = np.ones(win.shape)
-        if accumulate:
+        if kind == "accumulate":
             yield ctx.accumulate(win, data)
         else:
             yield ctx.write(win, data)
@@ -34,8 +40,9 @@ def run_writers(regions, accumulate=False):
 
         h = yield ctx.create(np.zeros((8, 8)))
         tids = []
-        for rows, cols in regions:
-            got = yield ctx.initiate("writer", block(h, rows, cols), count=1)
+        for (rows, cols), kind in zip(regions, kinds):
+            got = yield ctx.initiate("writer", block(h, rows, cols), kind,
+                                     count=1, index_arg=False)
             tids.extend(got)
         yield ctx.wait(tids)
 
@@ -60,6 +67,34 @@ class TestConflictDetection:
                             accumulate=True)
         assert audit.clean
         assert audit.counts["accumulate"] == 2
+
+    def test_accumulate_over_plain_write_exempt(self):
+        """Only plain-write vs plain-write conflicts: an accumulate that
+        overlaps another task's plain write commutes with nothing *else*
+        writing plainly there, so the auditor leaves it alone."""
+        audit = run_writers([((0, 4), (0, 4)), ((2, 6), (2, 6))],
+                            kinds=["write", "accumulate"])
+        assert audit.clean
+        assert audit.counts["write"] == 1
+        assert audit.counts["accumulate"] == 1
+
+    def test_plain_write_after_accumulate_exempt(self):
+        """Exemption is order-independent: write-then-accumulate and
+        accumulate-then-write are both legal overlaps."""
+        audit = run_writers([((0, 4), (0, 4)), ((2, 6), (2, 6))],
+                            kinds=["accumulate", "write"])
+        assert audit.clean
+
+    def test_mixed_overlap_still_flags_the_write_pair(self):
+        """An accumulate in the mix does not launder a genuine
+        plain-write/plain-write overlap elsewhere in the batch."""
+        audit = run_writers(
+            [((0, 4), (0, 4)), ((2, 6), (2, 6)), ((3, 7), (3, 7))],
+            kinds=["write", "accumulate", "write"])
+        assert not audit.clean
+        assert len(audit.conflicts) == 1
+        pair = {audit.conflicts[0].first.kind, audit.conflicts[0].second.kind}
+        assert pair == {"write"}
 
     def test_same_task_rewrites_not_flagged(self):
         prog = make_program()

@@ -1,73 +1,40 @@
 """Import-discipline test: the layer structure of the paper must hold in
-the code.  Lower layers must not import higher layers."""
+the code.  Lower layers must not import higher layers.
 
-import ast
+The rule table and the AST walker live in :mod:`repro.lint.layering`
+(the single source of truth, also enforced by ``python -m repro.lint``);
+this test is a thin wrapper that runs them under pytest.
+"""
+
 import pathlib
 
 import pytest
 
+from repro.lint.layering import (
+    ALLOWED,
+    check_layering,
+    package_files,
+    repro_imports,
+    subpackages_on_disk,
+)
+
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
-
-#: allowed dependencies between subpackages (besides self and errors).
-#: obs is the observability spine: it sits below every VM layer — it may
-#: import nothing above hardware (today: nothing at all); any layer may
-#: import it.
-ALLOWED = {
-    "errors": set(),
-    "hgraph": set(),
-    "obs": set(),
-    "hardware": {"obs"},
-    "sysvm": {"hardware", "obs"},
-    "langvm": {"sysvm", "hardware", "obs"},
-    "fem": {"langvm", "sysvm", "hardware", "obs"},
-    "appvm": {"fem", "langvm", "sysvm", "hardware", "hgraph", "obs"},
-    "core": {"hgraph"},
-    "analysis": {"fem", "hardware", "sysvm", "obs"},
-    "bench": {"appvm", "fem", "langvm", "hardware", "sysvm", "obs"},
-}
-
-
-def repro_imports(path: pathlib.Path):
-    """Subpackage names of repro imported by a module file."""
-    tree = ast.parse(path.read_text())
-    found = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom):
-            if node.module and node.module.startswith("repro."):
-                found.add(node.module.split(".")[1])
-            elif node.level >= 1 and node.module:
-                # relative import: resolve against the file's package
-                rel = path.relative_to(SRC).parts
-                pkg_parts = rel[:-1]
-                if node.level <= len(pkg_parts):
-                    base = pkg_parts[: len(pkg_parts) - (node.level - 1)]
-                    target = list(base) + node.module.split(".")
-                    if target:
-                        found.add(target[0])
-        elif isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name.startswith("repro."):
-                    found.add(alias.name.split(".")[1])
-    return found
 
 
 @pytest.mark.parametrize("package", sorted(ALLOWED))
 def test_layer_imports_respect_hierarchy(package):
-    pkg_dir = SRC / package
-    files = [SRC / f"{package}.py"] if not pkg_dir.is_dir() else list(pkg_dir.rglob("*.py"))
     allowed = ALLOWED[package] | {package, "errors"}
     violations = []
-    for f in files:
-        if not f.exists():
-            continue
-        bad = repro_imports(f) - allowed
+    for f in package_files(SRC, package):
+        bad = repro_imports(f, SRC) - allowed
         if bad:
             violations.append((str(f.relative_to(SRC)), sorted(bad)))
     assert not violations, f"{package} imports forbidden layers: {violations}"
 
 
 def test_every_subpackage_covered():
-    on_disk = {
-        p.name for p in SRC.iterdir() if p.is_dir() and (p / "__init__.py").exists()
-    }
-    assert on_disk == set(ALLOWED) - {"errors"}
+    assert subpackages_on_disk(SRC) == set(ALLOWED) - {"errors"}
+
+
+def test_check_layering_clean_on_repo():
+    assert check_layering(SRC) == []
