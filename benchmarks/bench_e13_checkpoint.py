@@ -1,0 +1,130 @@
+"""E13 — checkpoint interval versus recovery time and work lost.
+
+A task farm runs under periodic checkpointing while a PE fails
+mid-execution; recovery restores the last checkpoint into fresh
+hardware and deterministically replays.  The sweep records the classic
+trade-off: frequent checkpoints cost blob traffic and host overhead but
+bound the work lost to a fault, while sparse checkpoints lose a long
+tail of re-execution.  Every recovered run is asserted bit-identical —
+same root result, same final cycle count — to the fault-free run, which
+is the property that makes the comparison meaningful at all.  A restart
+run (the paper's original recovery model) anchors the comparison.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench import Experiment
+from repro.ckpt import Checkpointer
+from repro.hardware import FaultInjector, MachineConfig
+from repro.langvm import Fem2Program, forall
+from repro.obs import Tracer
+
+FAULT_AT = 35_000
+INTERVALS = (5_000, 10_000, 20_000, 40_000)
+
+
+def build_farm(tracer=None):
+    """The same program image every call — the restore factory."""
+    cfg = MachineConfig(n_clusters=4, pes_per_cluster=5,
+                        memory_words_per_cluster=4_000_000)
+    prog = Fem2Program(cfg, tracer=tracer, journal=True)
+
+    @prog.task()
+    def work(ctx, index):
+        yield ctx.compute(cycles=15_000)
+        return index
+
+    @prog.task()
+    def farm(ctx):
+        return len((yield from forall(ctx, "work", n=64)))
+
+    return prog
+
+
+def run_baseline():
+    prog = build_farm()
+    result = prog.run("farm", cluster=0)
+    return result, prog.now
+
+
+def run_restart_recovery():
+    """The original model: interrupted tasks restart from scratch."""
+    prog = build_farm()
+    injector = FaultInjector(prog.machine, runtime=prog.runtime,
+                             recovery="restart")
+    injector.schedule_pe_failure(FAULT_AT, 0, 1)
+    result = prog.run("farm", cluster=0)
+    return result, prog.now, int(prog.metrics.get("fault.task_restarts"))
+
+
+def run_checkpointed_recovery(interval, baseline, tracer=None):
+    r0, c0 = baseline
+    prog = build_farm(tracer)
+    injector = FaultInjector(prog.machine, runtime=prog.runtime,
+                             recovery="checkpoint")
+    injector.schedule_pe_failure(FAULT_AT, 0, 1)
+    tid = prog.start("farm", cluster=0)
+    ck = Checkpointer(prog, interval=interval)
+    ck.run()
+    assert injector.needs_recovery
+    t_ckpt = ck.latest().time
+    snapshots = len(ck.checkpoints)
+    mean_blob = sum(c.nbytes for c in ck.checkpoints) / snapshots
+    recovered = ck.recover(lambda: build_farm(tracer))
+    ck.run()
+    identical = (recovered.runtime.result_of(tid) == r0
+                 and recovered.now == c0)
+    return {
+        "t_ckpt": t_ckpt,
+        "snapshots": snapshots,
+        "mean_blob_kb": mean_blob / 1024,
+        "work_lost": FAULT_AT - t_ckpt,
+        "recovery_cycles": c0 - t_ckpt,
+        "host_ms": ck.host_seconds * 1e3,
+        "identical": identical,
+    }
+
+
+def run_e13():
+    baseline = run_baseline()
+    _, c0 = baseline
+    exp = Experiment("E13", "checkpoint interval vs recovery time / work lost")
+    exp.set_headers("interval", "checkpoints", "mean blob KB", "work lost",
+                    "recovery cycles", "host ms", "bit-identical")
+    sweep = []
+    tracer = Tracer()  # first sweep point doubles as the overhead profile
+    for interval in INTERVALS:
+        m = run_checkpointed_recovery(
+            interval, baseline, tracer=tracer if interval == INTERVALS[0] else None
+        )
+        exp.add_row(interval, m["snapshots"], round(m["mean_blob_kb"], 1),
+                    m["work_lost"], m["recovery_cycles"],
+                    round(m["host_ms"], 2), m["identical"])
+        sweep.append(m)
+    _, restart_cycles, restarts = run_restart_recovery()
+    exp.note(f"fault-free run: {c0} cycles; checkpointed recovery always "
+             f"resumes to exactly {c0}")
+    exp.note(f"restart recovery: {restart_cycles} cycles with {restarts} "
+             f"task restart(s) — loses whole tasks, not just the tail "
+             f"since the last checkpoint")
+    exp.attach_spans(tracer.kind_summary())
+    return exp, (sweep, c0, restart_cycles)
+
+
+def test_e13_checkpoint(benchmark, experiment_sink):
+    exp, (sweep, c0, restart_cycles) = run_once(benchmark, run_e13)
+    experiment_sink(exp)
+    # the acceptance bar: every recovered run is bit-identical
+    assert all(m["identical"] for m in sweep)
+    # tighter intervals take at least as many checkpoints
+    counts = [m["snapshots"] for m in sweep]
+    assert counts == sorted(counts, reverse=True)
+    # work lost to the fault is bounded by the checkpoint cadence: the
+    # restore point is never older than the pre-fault event wave
+    assert all(0 <= m["work_lost"] <= FAULT_AT for m in sweep)
+    assert sweep[0]["work_lost"] <= sweep[-1]["work_lost"]
+    # checkpointing charges zero simulated cycles but real host time
+    assert all(m["host_ms"] > 0 for m in sweep)
+    # restart recovery re-runs whole tasks: never faster than fault-free
+    assert restart_cycles >= c0

@@ -18,18 +18,24 @@ profile links user job → tasks → messages → cycles.
 from __future__ import annotations
 
 import warnings
+from dataclasses import asdict
 from typing import Dict, List, Optional
 
+from ..ckpt import from_bytes, to_bytes
 from ..errors import AppVMError
 from ..fem import (
     collect_parallel_cg,
     recover_stresses,
+    register_parallel_cg,
     start_parallel_cg,
 )
 from ..hardware.machine import MachineConfig
 from ..langvm import Fem2Program
 from ..lint import lint_program
 from .model import AnalysisResult, StructureModel
+
+#: schema tag of MachineService checkpoint blobs
+CKPT_SCHEMA = "fem2-ckpt/1"
 
 #: accepted values for MachineService.submit(lint=...)
 LINT_MODES = ("off", "warn", "error")
@@ -38,17 +44,20 @@ LINT_MODES = ("off", "warn", "error")
 class JobHandle:
     """One submitted solve job; resolves after :meth:`MachineService.run`."""
 
-    __slots__ = ("user", "model", "load_set", "workers", "tid", "span", "_result")
+    __slots__ = ("user", "model", "load_set", "workers", "tol", "tid", "span",
+                 "_result", "_service")
 
     def __init__(self, user: str, model: StructureModel, load_set: str,
-                 workers: int) -> None:
+                 workers: int, tol: float = 1e-9, service=None) -> None:
         self.user = user
         self.model = model
         self.load_set = load_set
         self.workers = workers
+        self.tol = tol
         self.tid: Optional[int] = None
         self.span = None  # appvm.job span when tracing is on
         self._result: Optional[AnalysisResult] = None
+        self._service = service
 
     @property
     def done(self) -> bool:
@@ -61,6 +70,14 @@ class JobHandle:
                 f"job for {self.user!r} has not run yet (call service.run())"
             )
         return self._result
+
+    def checkpoint(self) -> bytes:
+        """Checkpoint the whole service this job runs on (one machine =
+        one checkpoint; sibling jobs are captured too).  Resume with
+        :meth:`MachineService.resume`."""
+        if self._service is None:
+            raise AppVMError("job handle is not attached to a service")
+        return self._service.checkpoint()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "done" if self.done else "pending"
@@ -75,9 +92,14 @@ SolveJob = JobHandle
 class MachineService:
     """Batches user solve requests onto one simulated FEM-2 machine."""
 
-    def __init__(self, config: Optional[MachineConfig] = None, tracer=None) -> None:
+    def __init__(self, config: Optional[MachineConfig] = None, tracer=None,
+                 checkpointing: bool = False) -> None:
         self.config = config or MachineConfig(memory_words_per_cluster=16_000_000)
-        self.program = Fem2Program(self.config, tracer=tracer)
+        #: checkpointing turns on runtime journaling so the service's
+        #: program can be snapshotted (see :meth:`checkpoint`)
+        self.checkpointing = checkpointing
+        self.program = Fem2Program(self.config, tracer=tracer,
+                                   journal=checkpointing)
         self._pending: List[JobHandle] = []
         self._lint_cache: Dict[tuple, object] = {}
         self.completed_batches = 0
@@ -105,7 +127,7 @@ class MachineService:
         mesh = model.require_mesh()
         constraints = model.require_constraints()
         loads = model.load_set(load_set)
-        handle = JobHandle(user, model, load_set, workers)
+        handle = JobHandle(user, model, load_set, workers, tol=tol, service=self)
         runtime = self.program.runtime
         obs = runtime.obs
         if obs is not None and obs.enabled:
@@ -166,6 +188,80 @@ class MachineService:
         self._pending = []
         self.completed_batches += 1
         return finished
+
+    # -- checkpoint/resume ---------------------------------------------------
+
+    def checkpoint(self) -> bytes:
+        """Serialize the whole service — configuration, pending jobs, and
+        the complete machine state — into one blob.
+
+        Task bodies and meshes-as-code are not in the blob; resume
+        re-registers each job's solve from its model via
+        :func:`repro.fem.register_parallel_cg` before restoring.
+        """
+        if not self.checkpointing:
+            raise AppVMError(
+                "service was not built with checkpointing=True"
+            )
+        jobs = []
+        for handle in self._pending:
+            jobs.append({
+                "user": handle.user,
+                "model": handle.model,
+                "load_set": handle.load_set,
+                "workers": handle.workers,
+                "tol": handle.tol,
+                "tid": handle.tid,
+                "root_name": self.program.runtime.tasks[handle.tid].task_type,
+            })
+        return to_bytes({
+            "schema": CKPT_SCHEMA,
+            "config": asdict(self.config),
+            "completed_batches": self.completed_batches,
+            "jobs": jobs,
+            "program": self.program.snapshot(),
+        })
+
+    @classmethod
+    def resume(cls, blob: bytes, tracer=None) -> "MachineService":
+        """Rebuild a service from a :meth:`checkpoint` blob and continue.
+
+        A fresh machine is constructed from the checkpointed config (the
+        spare-hardware model), each job's task types are re-registered
+        under their original names, and the program state is restored —
+        after which :meth:`run` completes the jobs exactly as the
+        original machine would have.
+        """
+        state = from_bytes(blob)
+        if state.get("schema") != CKPT_SCHEMA:
+            raise AppVMError(
+                f"not a MachineService checkpoint (schema={state.get('schema')!r})"
+            )
+        service = cls(config=MachineConfig(**state["config"]), tracer=tracer,
+                      checkpointing=True)
+        handles = []
+        for job in state["jobs"]:
+            model = job["model"]
+            root_name = job["root_name"]
+            register_parallel_cg(
+                service.program,
+                model.require_mesh(),
+                model.material,
+                model.require_constraints(),
+                model.load_set(job["load_set"]),
+                n_workers=job["workers"],
+                tol=job["tol"],
+                worker_name=root_name.replace("cg_root", "cg_worker"),
+                root_name=root_name,
+            )
+            handle = JobHandle(job["user"], model, job["load_set"],
+                               job["workers"], tol=job["tol"], service=service)
+            handle.tid = job["tid"]
+            handles.append(handle)
+        service.program.restore(state["program"])
+        service.completed_batches = state["completed_batches"]
+        service._pending = handles
+        return service
 
     # -- deprecated batch API ------------------------------------------------
 

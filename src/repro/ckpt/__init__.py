@@ -1,0 +1,22 @@
+"""Checkpoint/restore and deterministic replay across all four VM layers.
+
+Every layer of the FEM-2 stack enumerates its mutable state explicitly
+(the :class:`repro.core.Snapshottable` convention); this package adds
+the machinery that turns those per-layer snapshots into whole-machine
+checkpoints: a versioned blob codec, a clock-neutral periodic
+:class:`Checkpointer`, and restore-into-fresh-program recovery that
+rebuilds task coroutines by journal replay.
+"""
+
+from .checkpoint import Checkpoint, Checkpointer, restore_program
+from .codec import MAGIC, VERSION, from_bytes, to_bytes
+
+__all__ = [
+    "Checkpoint",
+    "Checkpointer",
+    "restore_program",
+    "MAGIC",
+    "VERSION",
+    "from_bytes",
+    "to_bytes",
+]

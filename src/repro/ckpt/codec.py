@@ -1,0 +1,50 @@
+"""Checkpoint blob codec: a tagged, versioned, compressed pickle.
+
+A checkpoint is the plain-data tree produced by
+``Fem2Program.snapshot()``.  Code is never part of a blob — task bodies
+and the code registry are re-created by the program factory on the
+restore side, which is what models recovering onto *spare hardware*
+running the same program image.
+
+Layout: ``b"FEM2CKPT"`` + one version byte + zlib-compressed pickle.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from typing import Any
+
+from ..errors import CkptError
+
+MAGIC = b"FEM2CKPT"
+VERSION = 1
+
+
+def to_bytes(state: Any) -> bytes:
+    """Serialize a snapshot tree into a self-describing blob."""
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    return MAGIC + bytes([VERSION]) + zlib.compress(payload)
+
+
+def from_bytes(blob: bytes) -> Any:
+    """Decode a blob back into a snapshot tree.
+
+    Every call deserializes afresh, so one blob can be restored many
+    times without the restores aliasing each other's arrays.
+    """
+    if not isinstance(blob, (bytes, bytearray)) or not blob.startswith(MAGIC):
+        raise CkptError("not a FEM-2 checkpoint (bad magic)")
+    if len(blob) < len(MAGIC) + 1:
+        raise CkptError("truncated checkpoint blob")
+    version = blob[len(MAGIC)]
+    if version != VERSION:
+        raise CkptError(
+            f"checkpoint version {version} not supported (expected {VERSION})"
+        )
+    try:
+        return pickle.loads(zlib.decompress(bytes(blob[len(MAGIC) + 1:])))
+    except CkptError:
+        raise
+    except Exception as exc:
+        raise CkptError(f"corrupt checkpoint blob: {exc}") from exc

@@ -1,0 +1,48 @@
+"""The ``Snapshottable`` protocol: explicit state ownership per layer.
+
+The design method requires each virtual machine layer to *enumerate*
+its mutable state rather than scatter it across closures: a component
+that owns state implements ``snapshot()`` (return every mutable field
+as plain, picklable data) and ``restore(state)`` (install such a state
+into a freshly built component).  The whole-machine checkpoint in
+:mod:`repro.ckpt` is just the composition of these per-layer pairs.
+
+Conventions (enforced statically by lint rule S1):
+
+* a class defining ``snapshot()`` must define ``restore()``;
+* together they must cover every ``__slots__`` / dataclass field of the
+  class (fields rebuilt by other machinery are listed in a class-level
+  ``_snapshot_exempt`` tuple);
+* ``snapshot()`` returns only plain data — dicts, lists, tuples,
+  scalars, numpy arrays — never coroutines, PEs, or engine events.
+  Live execution points (coroutines, in-flight events) are captured as
+  *descriptors* and reconstructed deterministically on restore.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Snapshottable(Protocol):
+    """Structural type of every checkpointable component.
+
+    The protocol is purely structural (duck-typed): hardware and VM
+    layers implement it without importing this module, preserving the
+    layering rules; :mod:`repro.ckpt` and the tests use it to assert
+    conformance.
+    """
+
+    def snapshot(self) -> Any:
+        """Every mutable field of this component, as plain data."""
+        ...  # pragma: no cover - protocol
+
+    def restore(self, state: Any) -> None:
+        """Install a previously captured state into this component."""
+        ...  # pragma: no cover - protocol
+
+
+def is_snapshottable(obj: Any) -> bool:
+    """True when *obj* implements the snapshot/restore pair."""
+    return isinstance(obj, Snapshottable)

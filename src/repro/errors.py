@@ -104,6 +104,11 @@ class SolverError(FEMError):
     """A linear solver failed to converge or received a singular system."""
 
 
+class CkptError(Fem2Error):
+    """Errors from the checkpoint/restore spine (``repro.ckpt``):
+    snapshotting a non-journaling runtime, or a corrupt/mismatched blob."""
+
+
 class DesignError(Fem2Error):
     """Errors from the design-method core (``repro.core``)."""
 

@@ -52,6 +52,7 @@ from .parallel import (
     parallel_power_iteration,
     parallel_stress_recovery,
     parallel_substructure_solve,
+    register_parallel_cg,
     start_parallel_cg,
 )
 from .multilevel import MultilevelSolution, multilevel_substructure_solve
@@ -109,6 +110,7 @@ __all__ = [
     "parallel_cg_solve",
     "parallel_power_iteration",
     "parallel_stress_recovery",
+    "register_parallel_cg",
     "start_parallel_cg",
     "parallel_substructure_solve",
     "MultilevelSolution",

@@ -130,7 +130,7 @@ class ParallelSolveInfo:
     worker_stats: List[Dict]
 
 
-def start_parallel_cg(
+def register_parallel_cg(
     program: Fem2Program,
     mesh: Mesh,
     material: Material,
@@ -140,14 +140,17 @@ def start_parallel_cg(
     tol: float = 1e-8,
     max_iter: Optional[int] = None,
     subs: Optional[List[Subdomain]] = None,
-    cluster: int = 0,
-) -> int:
-    """Spawn a distributed-CG solve *without* running the clock.
+    worker_name: Optional[str] = None,
+    root_name: Optional[str] = None,
+) -> str:
+    """Define the worker and root task types of a distributed-CG solve
+    *without spawning anything*; returns the root task-type name.
 
-    Several solves may be submitted to one machine and run concurrently
-    (the multi-user scenario); collect each with
-    :func:`collect_parallel_cg` after the machine runs.  Supports
-    homogeneous constraints only.
+    Everything the bodies capture is computed deterministically from the
+    arguments, so re-registering with the same inputs and explicit names
+    yields replay-identical bodies — which is how checkpoint resume
+    (:meth:`repro.appvm.MachineService.resume`) rebuilds a program a
+    blob can be restored into.  Supports homogeneous constraints only.
     """
     if np.any(constraints.prescribed_values() != 0.0):
         raise FEMError("parallel CG supports homogeneous constraints only")
@@ -160,9 +163,10 @@ def start_parallel_cg(
     f[fixed] = 0.0
     payloads = [_worker_payload(mesh, material, s, fixed) for s in subs]
     limit = 4 * n if max_iter is None else max_iter
-    uid = next(_uid)
-    worker_name = f"fem.cg_worker.{uid}"
-    root_name = f"fem.cg_root.{uid}"
+    if worker_name is None or root_name is None:
+        uid = next(_uid)
+        worker_name = worker_name or f"fem.cg_worker.{uid}"
+        root_name = root_name or f"fem.cg_root.{uid}"
     program.define(worker_name, _cg_worker, code_words=512, locals_words=256)
     n_clusters = program.machine.config.n_clusters
 
@@ -232,6 +236,31 @@ def start_parallel_cg(
         }
 
     program.define(root_name, root, code_words=1024, locals_words=512)
+    return root_name
+
+
+def start_parallel_cg(
+    program: Fem2Program,
+    mesh: Mesh,
+    material: Material,
+    constraints: Constraints,
+    loads: LoadSet,
+    n_workers: int = 4,
+    tol: float = 1e-8,
+    max_iter: Optional[int] = None,
+    subs: Optional[List[Subdomain]] = None,
+    cluster: int = 0,
+) -> int:
+    """Spawn a distributed-CG solve *without* running the clock.
+
+    Several solves may be submitted to one machine and run concurrently
+    (the multi-user scenario); collect each with
+    :func:`collect_parallel_cg` after the machine runs.
+    """
+    root_name = register_parallel_cg(
+        program, mesh, material, constraints, loads,
+        n_workers=n_workers, tol=tol, max_iter=max_iter, subs=subs,
+    )
     return program.start(root_name, cluster=cluster)
 
 

@@ -90,6 +90,26 @@ class Cluster:
         self.metrics.incr("fault.messages_lost", len(self.input_queue))
         self.input_queue.clear()
 
+    def snapshot(self) -> dict:
+        return {
+            "failed": self.failed,
+            "queue_high_water": self.queue_high_water,
+            "input_queue": list(self.input_queue),
+            "pes": [pe.snapshot() for pe in self.pes],
+            "memory": self.memory.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Install queue/PE/memory state.  The ``on_message`` hook is
+        left alone — the sysvm kernel installed it at construction and
+        re-arms itself from its own snapshot."""
+        self.failed = state["failed"]
+        self.queue_high_water = state["queue_high_water"]
+        self.input_queue = deque(state["input_queue"])
+        for pe, pe_state in zip(self.pes, state["pes"]):
+            pe.restore(pe_state)
+        self.memory.restore(state["memory"])
+
     def utilization(self) -> float:
         """Mean worker-PE utilization over elapsed simulated time."""
         workers = self.worker_pes

@@ -14,8 +14,7 @@ are exactly reproducible.
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 
@@ -50,8 +49,12 @@ class EventEngine:
     def __init__(self) -> None:
         self.now: int = 0
         self._queue: List[Event] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self.events_processed = 0
+        #: set by :meth:`halt`; run loops drain no further events until
+        #: cleared.  Used by checkpointed fault recovery to stop a doomed
+        #: run at the fault without unwinding through every caller.
+        self.halted = False
         #: optional span tracer (duck-typed; see repro.obs).  Dispatch is
         #: recorded aggregate-only so million-event runs stay O(1) memory.
         self.tracer = None
@@ -68,7 +71,8 @@ class EventEngine:
             raise SimulationError(
                 f"cannot schedule at t={time}, current time is {self.now}"
             )
-        ev = Event(int(time), next(self._seq), fn, args)
+        ev = Event(int(time), self._seq, fn, args)
+        self._seq += 1
         heapq.heappush(self._queue, ev)
         return ev
 
@@ -97,6 +101,8 @@ class EventEngine:
         *max_events* fire.  Returns the number of events processed."""
         processed = 0
         while self._queue:
+            if self.halted:
+                break
             if max_events is not None and processed >= max_events:
                 break
             nxt = self._peek()
@@ -122,3 +128,33 @@ class EventEngine:
 
     def idle(self) -> bool:
         return self._peek() is None
+
+    def halt(self) -> None:
+        """Stop every run loop after the current event completes."""
+        self.halted = True
+
+    def resume_halted(self) -> None:
+        self.halted = False
+
+    # -- checkpoint/restore ------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Engine scalars only.  Pending events are *not* serialized —
+        each layer that scheduled one re-issues it from its own
+        descriptors on restore (see :mod:`repro.ckpt`)."""
+        return {
+            "now": self.now,
+            "events_processed": self.events_processed,
+            "halted": False,  # a restored engine always starts runnable
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Install scalars and clear the queue.  Any events a caller
+        scheduled before restore (e.g. a spawn made while rebuilding the
+        program) are dropped — the checkpoint's descriptors are the only
+        source of pending work."""
+        self._queue = []
+        self._seq = 0
+        self.now = state["now"]
+        self.events_processed = state["events_processed"]
+        self.halted = state["halted"]

@@ -25,10 +25,33 @@ class FaultRecord:
     target: Tuple        # (cluster, pe) or (a, b) or (cluster,)
 
 
-class FaultInjector:
-    """Injects faults into a machine, immediately or at a future time."""
+RECOVERY_MODES = ("restart", "checkpoint")
 
-    def __init__(self, machine: Machine, reconfigure: bool = True, runtime=None) -> None:
+
+class FaultInjector:
+    """Injects faults into a machine, immediately or at a future time.
+
+    Two recovery models are supported.  ``recovery="restart"`` (the
+    paper's original task-farm model) restarts interrupted tasks from
+    the beginning on surviving hardware.  ``recovery="checkpoint"``
+    instead *halts* the engine at the fault and sets
+    :attr:`needs_recovery`; the driver then restores the last
+    checkpoint into a fresh program (see :class:`repro.ckpt.Checkpointer`)
+    and deterministically replays, losing only the work since that
+    checkpoint.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        reconfigure: bool = True,
+        runtime=None,
+        recovery: str = "restart",
+    ) -> None:
+        if recovery not in RECOVERY_MODES:
+            raise FaultError(
+                f"unknown recovery mode {recovery!r}; one of {RECOVERY_MODES}"
+            )
         self.machine = machine
         #: when False, faulty components stay in the routing/dispatch sets,
         #: modelling a machine without the paper's reconfigurability.
@@ -36,6 +59,10 @@ class FaultInjector:
         #: a ``repro.sysvm.runtime.Runtime`` to notify, so interrupted
         #: tasks are restarted (PE fault) or reported lost (cluster fault)
         self.runtime = runtime
+        self.recovery = recovery
+        #: set when a fault occurred under checkpoint recovery; the run
+        #: loop has been halted and a restore is required to continue
+        self.needs_recovery = False
         self.log: List[FaultRecord] = []
 
     # -- immediate faults ----------------------------------------------------
@@ -49,7 +76,9 @@ class FaultInjector:
             )
         pe.fail()
         self.log.append(FaultRecord(self.machine.now, "pe", (cluster_id, pe_index)))
-        if self.runtime is not None and self.reconfigure:
+        if self.recovery == "checkpoint":
+            self._halt_for_recovery()
+        elif self.runtime is not None and self.reconfigure:
             self.runtime.recover_pe_failure(pe)
 
     def fail_link(self, a: int, b: int) -> None:
@@ -58,12 +87,22 @@ class FaultInjector:
 
     def fail_cluster(self, cluster_id: int) -> None:
         cluster = self.machine.cluster(cluster_id)
+        # the queue is about to be dropped; capture it first so recovery
+        # can report tasks whose INITIATE died in the queue
+        dropped = list(cluster.input_queue)
         cluster.fail()
         if self.reconfigure:
             self.machine.network.fail_cluster(cluster_id)
         self.log.append(FaultRecord(self.machine.now, "cluster", (cluster_id,)))
-        if self.runtime is not None:
-            self.runtime.recover_cluster_failure(cluster_id)
+        if self.recovery == "checkpoint":
+            self._halt_for_recovery()
+        elif self.runtime is not None:
+            self.runtime.recover_cluster_failure(cluster_id, dropped=dropped)
+
+    def _halt_for_recovery(self) -> None:
+        self.needs_recovery = True
+        self.machine.engine.halt()
+        self.machine.metrics.incr("fault.halts")
 
     def repair_pe(self, cluster_id: int, pe_index: int) -> None:
         self.machine.cluster(cluster_id).pes[pe_index].repair()

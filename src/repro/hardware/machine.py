@@ -14,7 +14,7 @@ give the standard sizes used across the experiment suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, FaultError, RoutingError
 from .cluster import Cluster
@@ -108,6 +108,12 @@ class Machine:
             hop_latency=config.hop_latency,
             bandwidth_words_per_cycle=config.bandwidth_words_per_cycle,
         )
+        #: payloads currently traversing the network: key -> (event, dst,
+        #: payload).  This is the machine's explicit ownership of in-flight
+        #: communication state — checkpoints re-schedule these arrivals,
+        #: and fault recovery can enumerate messages doomed to be dropped.
+        self._in_flight: Dict[int, Tuple[Any, int, Any]] = {}
+        self._flight_key = 0
 
     # -- access --------------------------------------------------------------
 
@@ -148,14 +154,29 @@ class Machine:
         self.metrics.incr("comm.messages")
         self.metrics.incr("comm.words", size_words)
         self.metrics.observe("comm.message_size", size_words)
-        self.engine.schedule(latency + extra_delay, self._arrive, dst, payload)
+        self._schedule_arrival(self.engine.now + latency + extra_delay, dst, payload)
 
-    def _arrive(self, dst: int, payload: Any) -> None:
+    def _schedule_arrival(self, at: int, dst: int, payload: Any) -> None:
+        key = self._flight_key
+        self._flight_key += 1
+        ev = self.engine.schedule_at(at, self._arrive, key, dst, payload)
+        self._in_flight[key] = (ev, dst, payload)
+
+    def _arrive(self, key: int, dst: int, payload: Any) -> None:
+        self._in_flight.pop(key, None)
         cluster = self.clusters[dst]
         if cluster.failed:
             self.metrics.incr("fault.messages_lost")
             return
         cluster.enqueue(payload)
+
+    def in_flight(self) -> List[Tuple[int, Any]]:
+        """Live ``(dst, payload)`` pairs still traversing the network."""
+        return [
+            (dst, payload)
+            for (ev, dst, payload) in self._in_flight.values()
+            if not ev.cancelled
+        ]
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -164,13 +185,51 @@ class Machine:
         return self.engine.run(until=until, max_events=max_events)
 
     def run_to_completion(self, max_events: int = 5_000_000) -> int:
-        """Drain the event queue; guards against runaway simulations."""
+        """Drain the event queue; guards against runaway simulations.
+        A halted engine (checkpointed fault recovery pending) returns
+        quietly — the recovery driver owns what happens next."""
         n = self.engine.run(max_events=max_events)
-        if not self.engine.idle():
+        if not self.engine.idle() and not self.engine.halted:
             raise ConfigurationError(
                 f"simulation did not quiesce within {max_events} events"
             )
         return n
+
+    # -- checkpoint/restore ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All hardware-owned mutable state.  In-flight payloads are
+        captured as (arrival time, original seq, dst, payload)
+        descriptors; the engine queue itself is never serialized."""
+        flights = [
+            (ev.time, ev.seq, dst, payload)
+            for (ev, dst, payload) in self._in_flight.values()
+            if not ev.cancelled
+        ]
+        return {
+            "engine": self.engine.snapshot(),
+            "metrics": self.metrics.snapshot(),
+            "clusters": [c.snapshot() for c in self.clusters],
+            "network": self.network.snapshot(),
+            "in_flight": sorted(flights, key=lambda f: (f[0], f[1])),
+        }
+
+    def restore(self, state: dict, pending: list) -> None:
+        """Install hardware state; append re-schedule thunks for in-flight
+        arrivals to *pending* as ``(time, seq, thunk)`` so the caller can
+        interleave them with other layers' events in original order."""
+        self.engine.restore(state["engine"])
+        self.metrics.restore(state["metrics"])
+        for cluster, cstate in zip(self.clusters, state["clusters"]):
+            cluster.restore(cstate)
+        self.network.restore(state["network"])
+        self._in_flight = {}
+        self._flight_key = 0
+        for time, seq, dst, payload in state["in_flight"]:
+            pending.append((
+                time, seq,
+                lambda t=time, d=dst, p=payload: self._schedule_arrival(t, d, p),
+            ))
 
     # -- summary ----------------------------------------------------------------
 

@@ -61,6 +61,21 @@ class SharedMemory:
         self.used_words -= words
         self._by_tag[tag] -= words
 
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "used_words": self.used_words,
+            "high_water": self.high_water,
+            "by_tag": {k: v for k, v in self._by_tag.items() if v},
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Install counters directly.  Heap/code/array restores above
+        rebuild their own structures *without* re-reserving, so capacity
+        is accounted exactly once — here."""
+        self.used_words = state["used_words"]
+        self.high_water = state["high_water"]
+        self._by_tag = defaultdict(int, state["by_tag"])
+
     def free_words(self) -> int:
         return self.capacity_words - self.used_words
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 
 class Histogram:
@@ -66,6 +66,26 @@ class Histogram:
             "std": self.std,
         }
 
+    def snapshot(self) -> Dict[str, float]:
+        """Exact internal state (``_m2`` included, so restore is
+        bit-identical — recomputing it from ``std`` would lose bits)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self._mean,
+            "m2": self._m2,
+        }
+
+    def restore(self, state: Dict[str, float]) -> None:
+        self.count = state["count"]
+        self.total = state["total"]
+        self.min = state["min"]
+        self.max = state["max"]
+        self._mean = state["mean"]
+        self._m2 = state["m2"]
+
     def merge(self, other: "Histogram") -> None:
         """Fold *other* into this histogram (parallel-merge of Welford)."""
         if other.count == 0:
@@ -106,6 +126,13 @@ class BusyTracker:
 
     def is_busy(self) -> bool:
         return self._busy_since is not None
+
+    def snapshot(self) -> Dict[str, Optional[int]]:
+        return {"busy_cycles": self.busy_cycles, "busy_since": self._busy_since}
+
+    def restore(self, state: Dict[str, Optional[int]]) -> None:
+        self.busy_cycles = state["busy_cycles"]
+        self._busy_since = state["busy_since"]
 
     def utilization(self, elapsed: int) -> float:
         return self.busy_cycles / elapsed if elapsed else 0.0
@@ -161,13 +188,28 @@ class MetricsRegistry:
         self._counters.clear()
         self._histograms.clear()
 
-    def snapshot(self) -> Dict[str, float]:
-        """A flat snapshot including histogram summaries (dotted keys)."""
+    def flat(self) -> Dict[str, float]:
+        """A flat summary including histogram summaries (dotted keys)."""
         out = dict(self._counters)
         for name, h in self._histograms.items():
             for k, v in h.summary().items():
                 out[f"{name}.{k}"] = v
         return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Exact structured state for checkpoint/restore (use
+        :meth:`flat` for the lossy reporting form)."""
+        return {
+            "counters": dict(self._counters),
+            "histograms": {n: h.snapshot() for n, h in self._histograms.items()},
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._counters = defaultdict(float, state["counters"])
+        self._histograms = {}
+        for name, hstate in state["histograms"].items():
+            h = self._histograms[name] = Histogram()
+            h.restore(hstate)
 
     def report(self, prefixes: Iterable[str] = ()) -> str:
         """Human-readable dump, optionally restricted to prefixes."""

@@ -100,6 +100,27 @@ class Network:
     def is_cluster_up(self, cid: int) -> bool:
         return cid not in self._down_clusters
 
+    # -- checkpoint/restore ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "edges": sorted((min(a, b), max(a, b)) for a, b in self.graph.edges),
+            "down_clusters": sorted(self._down_clusters),
+            "link_traffic": dict(self._link_traffic),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild the topology, then drop edges lost to link faults.
+        The route cache is left cold — routes recompute deterministically."""
+        self.graph = build_topology(self.topology_name, self.n_clusters)
+        kept = {(min(a, b), max(a, b)) for a, b in state["edges"]}
+        for a, b in list(self.graph.edges):
+            if (min(a, b), max(a, b)) not in kept:
+                self.graph.remove_edge(a, b)
+        self._down_clusters = set(state["down_clusters"])
+        self._link_traffic = dict(state["link_traffic"])
+        self._route_cache.clear()
+
     # -- routing ----------------------------------------------------------
 
     def route(self, src: int, dst: int) -> List[int]:

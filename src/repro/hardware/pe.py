@@ -83,6 +83,39 @@ class ProcessingElement:
         self._burst_event = None
         on_done()
 
+    def resume_burst(self, total_cycles: int, end_time: int,
+                     on_done: Callable[[], None]) -> None:
+        """Re-issue the completion event of a burst restored mid-flight.
+
+        The PE's BUSY state and busy-since cycle were installed by
+        :meth:`restore`; this only schedules ``_finish`` at the burst's
+        original end time.  ``proc.bursts`` is *not* incremented — the
+        burst was counted when it originally began.
+        """
+        if self.state is not PEState.BUSY:
+            raise SchedulingError(
+                f"{self.name}: resume_burst on a PE restored as {self.state.value}"
+            )
+        self._burst_event = self.engine.schedule_at(
+            end_time, self._finish, total_cycles, on_done
+        )
+
+    def snapshot(self) -> dict:
+        """State scalars.  The in-flight burst event is captured by the
+        layer that issued it (runtime/kernel), which re-issues it via
+        :meth:`resume_burst` on restore."""
+        return {
+            "state": self.state.value,
+            "cycles_executed": self.cycles_executed,
+            "busy": self.busy.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.state = PEState(state["state"])
+        self.cycles_executed = state["cycles_executed"]
+        self.busy.restore(state["busy"])
+        self._burst_event = None
+
     def fail(self) -> None:
         """Mark the PE faulty; any in-flight burst is lost."""
         if self.state is PEState.BUSY:

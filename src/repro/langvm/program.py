@@ -135,6 +135,7 @@ class Fem2Program:
         strict: bool = True,
         trace=None,
         tracer=None,
+        journal: bool = False,
     ) -> None:
         self.machine = Machine(config or MachineConfig(), tracer=tracer)
         self.runtime = Runtime(
@@ -145,6 +146,9 @@ class Fem2Program:
             trace=trace,
         )
         self.runtime.ctx_factory = TaskContext
+        #: journal=True records every coroutine input, making the whole
+        #: program snapshottable (see :mod:`repro.ckpt`)
+        self.runtime.journaling = journal
 
     # -- program definition ---------------------------------------------------------
 
@@ -182,6 +186,31 @@ class Fem2Program:
         if missing:
             raise LangVMError(f"root tasks {missing} produced no result")
         return {t: results[t] for t in tids}
+
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole machine's mutable state — hardware and OS — as one
+        plain-data tree.  Safe points are *between* engine events; the
+        checkpoint driver (:class:`repro.ckpt.Checkpointer`) guarantees
+        that by stepping the engine itself.  Registered task bodies are
+        not captured: restore targets a program rebuilt by the same
+        factory, which re-registers them."""
+        return {
+            "machine": self.machine.snapshot(),
+            "runtime": self.runtime.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Install a snapshot into this (freshly built) program.  Every
+        layer contributes re-schedule thunks tagged with their original
+        (time, seq); running them sorted preserves the original event
+        order, which is what makes the resumed run bit-identical."""
+        pending: list = []
+        self.machine.restore(state["machine"], pending)
+        self.runtime.restore(state["runtime"], pending)
+        for _time, _seq, thunk in sorted(pending, key=lambda e: (e[0], e[1])):
+            thunk()
 
     # -- measurement -----------------------------------------------------------------------
 

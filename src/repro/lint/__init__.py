@@ -13,7 +13,8 @@ simulated cycle is spent.  Three entry points:
 Program findings carry stable codes (W1 write-write race, W2 unwaited
 read-write race, D1 missing wait / initiate cycle, O1 raw storage on a
 non-owned handle); architecture findings use A1 (layering), A2 (span
-balance), A3 (public-API drift).  Every finding has file:line and a
+balance), A3 (public-API drift), S1 (snapshot/restore completeness for
+the :mod:`repro.ckpt` spine).  Every finding has file:line and a
 severity, and the report exports to the same plain-record form as the
 :mod:`repro.obs` spine.
 """
@@ -31,6 +32,7 @@ from .cli import lint_files, lint_paths, lint_source, main
 from .findings import CODES, SCHEMA, Finding, LintReport
 from .layering import ALLOWED, check_layering, layering_violations
 from .program import check_d1, check_o1, check_tasks, check_w1, check_w2
+from .snapshots import check_snapshots
 from .spans import check_span_balance
 
 
@@ -84,6 +86,7 @@ __all__ = [
     "check_o1",
     "check_package_api",
     "check_public_api",
+    "check_snapshots",
     "check_span_balance",
     "check_tasks",
     "check_w1",

@@ -33,6 +33,7 @@ from .astutil import TaskInfo, collect_tasks
 from .findings import Finding, LintReport
 from .layering import check_layering
 from .program import check_tasks
+from .snapshots import check_snapshots
 from .spans import check_span_balance
 
 
@@ -84,6 +85,7 @@ def lint_files(files: Sequence[pathlib.Path],
             continue
         tasks.extend(collect_tasks(tree, str(f)))
         findings.extend(check_span_balance(tree, str(f)))
+        findings.extend(check_snapshots(tree, str(f)))
         if f.name == "__init__.py":
             findings.extend(check_public_api(tree, str(f)))
         report.files_checked += 1
@@ -116,6 +118,7 @@ def lint_source(source: str, filename: str = "<string>") -> LintReport:
     report.tasks_checked = len(tasks)
     report.extend(check_tasks(tasks))
     report.extend(check_span_balance(tree, filename))
+    report.extend(check_snapshots(tree, filename))
     return report
 
 

@@ -28,6 +28,7 @@ CODES: Dict[str, str] = {
     "A1": "layering violation: a lower layer imports a higher one",
     "A2": "obs_begin without obs_end on some code path",
     "A3": "public-API drift: __all__ name does not resolve",
+    "S1": "incomplete snapshot/restore pair (checkpoint contract)",
 }
 
 SEVERITIES = ("error", "warning")

@@ -30,8 +30,10 @@ ALLOWED: Dict[str, Set[str]] = {
     "sysvm": {"hardware", "obs"},
     "langvm": {"sysvm", "hardware", "obs"},
     "fem": {"langvm", "sysvm", "hardware", "obs"},
-    "appvm": {"fem", "langvm", "sysvm", "hardware", "hgraph", "obs", "lint"},
+    "appvm": {"fem", "langvm", "sysvm", "hardware", "hgraph", "obs", "lint",
+              "ckpt"},
     "core": {"hgraph"},
+    "ckpt": set(),
     "analysis": {"fem", "hardware", "sysvm", "obs"},
     "bench": {"appvm", "fem", "langvm", "hardware", "sysvm", "obs"},
 }

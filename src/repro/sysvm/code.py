@@ -84,3 +84,11 @@ class ClusterCodeStore:
 
     def resident_types(self) -> Set[str]:
         return set(self._resident)
+
+    def snapshot(self) -> Dict:
+        return {"resident": sorted(self._resident)}
+
+    def restore(self, state: Dict) -> None:
+        """Install residency directly; code words were accounted in the
+        shared-memory snapshot, so nothing is re-reserved."""
+        self._resident = set(state["resident"])

@@ -168,6 +168,28 @@ class Heap:
         if addr != self.capacity:
             raise HeapError(f"block list covers {addr} of {self.capacity} words")
 
+    def snapshot(self) -> Dict:
+        return {
+            "blocks": [(b.addr, b.size, b.free) for b in self._blocks],
+            "alloc_count": self.alloc_count,
+            "free_count": self.free_count,
+            "failed_allocs": self.failed_allocs,
+            "scan_steps": self.scan_steps,
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Rebuild the block list and ``_allocated`` index directly.
+        Shared-memory capacity is *not* re-reserved — the cluster's
+        :class:`~repro.hardware.memory.SharedMemory` restores its own
+        counters, keeping the mirror consistent without double counting."""
+        self._blocks = [Block(a, s, f) for a, s, f in state["blocks"]]
+        self._allocated = {b.addr: b for b in self._blocks if not b.free}
+        self.alloc_count = state["alloc_count"]
+        self.free_count = state["free_count"]
+        self.failed_allocs = state["failed_allocs"]
+        self.scan_steps = state["scan_steps"]
+        self.check_invariants()
+
     def stats(self) -> Dict[str, float]:
         return {
             "capacity": self.capacity,

@@ -14,7 +14,7 @@ cluster architecture was designed around.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..hardware.cluster import Cluster
 from ..hardware.pe import PEState
@@ -27,6 +27,9 @@ class Kernel:
         self.runtime = runtime
         self.cluster = cluster
         self._active = False
+        #: the unit of work occupying the kernel PE right now, kept as a
+        #: descriptor (not a closure) so checkpoints can serialize it
+        self._work: Optional[Tuple] = None
         cluster.on_message = lambda _c: self.kick()
 
     def kick(self) -> None:
@@ -52,6 +55,7 @@ class Kernel:
 
     def _start(self, work: Tuple) -> None:
         cfg = self.runtime.machine.config
+        self._work = work
         if work[0] == "msg":
             msg = work[1]
             self.cluster.kernel_pe.execute(
@@ -65,11 +69,13 @@ class Kernel:
 
     def _finish_msg(self, msg) -> None:
         self._active = False
+        self._work = None
         self.runtime.handle_message(self.cluster.cluster_id, msg)
         self.kick()
 
     def _finish_dispatch(self, tcb, pe) -> None:
         self._active = False
+        self._work = None
         # the PE was idle when picked and the kernel is serialized, but a
         # fault may have hit it during the dispatch burst
         if pe.is_available():
@@ -77,3 +83,53 @@ class Kernel:
         else:
             self.runtime.requeue(tcb)
         self.kick()
+
+    # -- checkpoint/restore ------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """The in-progress kernel burst as a descriptor: the work item
+        plus the (end time, seq, cycles) of the burst event on the
+        kernel PE, read back from the live event so restore can re-issue
+        an identical completion."""
+        state: Dict = {"active": self._active, "work": None}
+        if self._active and self._work is not None:
+            ev = self.cluster.kernel_pe._burst_event
+            desc: Dict = {
+                "kind": self._work[0],
+                "end_time": ev.time,
+                "seq": ev.seq,
+                "cycles": ev.args[0],
+            }
+            if self._work[0] == "msg":
+                desc["msg"] = self._work[1]
+            else:
+                tcb, pe = self._work[1]
+                desc["tid"] = tcb.tid
+                desc["pe"] = pe.index
+            state["work"] = desc
+        return state
+
+    def restore(self, state: Dict, pending: list) -> None:
+        """Install the loop state; if a burst was in flight, append a
+        ``(time, seq, thunk)`` entry to *pending* that re-issues it via
+        :meth:`ProcessingElement.resume_burst`.  Tasks must already be
+        restored (dispatch work references a TCB by tid)."""
+        self._active = state["active"]
+        self._work = None
+        w = state.get("work")
+        if w is None:
+            return
+        kpe = self.cluster.kernel_pe
+        if w["kind"] == "msg":
+            msg = w["msg"]
+            self._work = ("msg", msg)
+            done = lambda m=msg: self._finish_msg(m)
+        else:
+            tcb = self.runtime.tasks[w["tid"]]
+            pe = self.cluster.pes[w["pe"]]
+            self._work = ("dispatch", (tcb, pe))
+            done = lambda t=tcb, p=pe: self._finish_dispatch(t, p)
+        pending.append((
+            w["end_time"], w["seq"],
+            lambda c=w["cycles"], e=w["end_time"], f=done: kpe.resume_burst(c, e, f),
+        ))

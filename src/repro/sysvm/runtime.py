@@ -14,13 +14,14 @@ elements.
 
 from __future__ import annotations
 
-import itertools
-from collections import defaultdict
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import copy
+from collections import defaultdict, deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import (
+    CkptError,
     MemoryCapacityError,
     MessageError,
     RoutingError,
@@ -30,7 +31,7 @@ from ..errors import (
 from ..hardware.machine import Machine
 from ..hardware.pe import ProcessingElement
 from . import effects as fx
-from .activation import allocate_record, release_record
+from .activation import ActivationRecord, allocate_record, release_record
 from .code import ClusterCodeStore, CodeBlock, CodeRegistry
 from .codec import decode, encode
 from .heap import Heap
@@ -101,9 +102,11 @@ class SimpleContext:
 
     def obs_begin(self, kind: str, label: str, **attrs):
         """Open a span parented to this task's span; None when tracing is
-        off, so callers pass the result straight to :meth:`obs_end`."""
+        off, so callers pass the result straight to :meth:`obs_end`.
+        During journal replay spans are suppressed — the original run
+        already recorded them."""
         obs = self._runtime.obs
-        if obs is None or not obs.enabled:
+        if obs is None or not obs.enabled or self._runtime._replaying:
             return None
         return obs.begin(
             kind, label, self.now,
@@ -166,9 +169,18 @@ class Runtime:
 
         self.tasks: Dict[int, TCB] = {}
         self.root_results: Dict[int, Any] = {}
-        self._tid = itertools.count(1)
-        self._call_id = itertools.count(1)
+        # plain-int counters (not itertools.count) so snapshots can
+        # capture and restore them exactly
+        self._tid = 1
+        self._call_id = 1
         self._rr = 0
+        #: record every value fed to task coroutines, enabling
+        #: checkpoint/restore via deterministic replay (costs deepcopies,
+        #: so it is opt-in — Fem2Program(journal=True) turns it on)
+        self.journaling = False
+        #: True only while journals are being replayed into recreated
+        #: coroutines during restore; suppresses span emission
+        self._replaying = False
         self._code_sent: set = set()  # (cluster, task_type) LOAD_CODE in flight
         self._awaiting_code: Dict[Tuple[int, str], List] = defaultdict(list)
         self._pending_rpc: Dict[int, int] = {}  # call_id -> caller tid
@@ -242,7 +254,7 @@ class Runtime:
             locals_words=block.locals_words,
         )
         tcb = TCB(
-            tid=tid if tid is not None else next(self._tid),
+            tid=tid if tid is not None else self._alloc_tid(),
             task_type=task_type,
             cluster=cluster,
             parent=parent,
@@ -292,6 +304,16 @@ class Runtime:
             return None
         return self._task_spans.get(tid)
 
+    def _alloc_tid(self) -> int:
+        tid = self._tid
+        self._tid += 1
+        return tid
+
+    def _alloc_call_id(self) -> int:
+        cid = self._call_id
+        self._call_id += 1
+        return cid
+
     def _set_home(self, tid: int, cluster: int) -> None:
         if tid not in self._task_home:
             self._task_home[tid] = cluster
@@ -322,6 +344,8 @@ class Runtime:
     # -- coroutine driving ---------------------------------------------------------
 
     def _step(self, tcb: TCB, value: Any) -> None:
+        if self.journaling:
+            tcb.journal.append(("send", copy.deepcopy(value)))
         try:
             effect = tcb.coro.send(value)
         except StopIteration as stop:
@@ -337,6 +361,8 @@ class Runtime:
             self._throw(tcb, exc)
 
     def _throw(self, tcb: TCB, exc: BaseException) -> None:
+        if self.journaling:
+            tcb.journal.append(("throw", exc))
         try:
             effect = tcb.coro.throw(exc)
         except StopIteration as stop:
@@ -347,8 +373,77 @@ class Runtime:
             return
         self._interpret(tcb, effect)
 
-    def _burst(self, tcb: TCB, cycles: int, cont: Callable[[], None]) -> None:
-        tcb.pe.execute(cycles, cont)
+    def _replay(self, tcb: TCB) -> None:
+        """Recreate a live task's coroutine from the registered body and
+        re-feed its journal, discarding the yielded effects — their
+        consequences (heap, arrays, messages, metrics) are already part
+        of the restored state.  Bodies must be deterministic functions of
+        the journaled inputs, which is the safe-point contract documented
+        in DESIGN.md."""
+        block = self.registry.get(tcb.task_type)
+        ctx = self.ctx_factory(self, tcb)
+        tcb.coro = block.body(ctx, *tcb.record.params)
+        self._replaying = True
+        try:
+            for op, value in tcb.journal:
+                if op == "send":
+                    tcb.coro.send(value)
+                else:
+                    tcb.coro.throw(value)
+        finally:
+            self._replaying = False
+
+    def _burst(self, tcb: TCB, cycles: int, cont: Tuple) -> None:
+        """Charge a PE burst; *cont* is a continuation descriptor (not a
+        closure) stored on the TCB so checkpoints can serialize it."""
+        tcb.cont = cont
+        tcb.pe.execute(cycles, lambda: self._continue(tcb))
+
+    def _continue(self, tcb: TCB) -> None:
+        """Dispatch the task's pending continuation descriptor.  This is
+        the single completion path for every worker-PE burst."""
+        cont, tcb.cont = tcb.cont, None
+        tag = cont[0]
+        if tag == "step":
+            self._step(tcb, cont[1])
+        elif tag == "send_rpc":
+            _, dst, msg, call_id = cont
+            self._send(tcb.cluster, dst, msg)
+            self._block(tcb, ("rpc", call_id))
+        elif tag == "send_initiate":
+            _, messages, tids = cont
+            for target, msg in messages:
+                self._send(tcb.cluster, target, msg)
+            self._step(tcb, list(tids))
+        elif tag == "send_pause":
+            if tcb.parent is not None:
+                parent = self.tasks.get(tcb.parent)
+                pcluster = parent.cluster if parent else tcb.cluster
+                self._send(tcb.cluster, pcluster, pause_notify(tcb.tid, tcb.parent))
+            tcb.transition(TaskState.PAUSED)
+            tcb.pe = None
+            self.metrics.incr("task.pauses")
+            if tcb.pending_resume:
+                tcb.pending_resume = False
+                self._wake(tcb, None)
+            self.kernels[tcb.cluster].kick()
+        elif tag == "send_bcast":
+            # call ids are allocated here, at completion time, so a
+            # restored burst allocates the same ids the original would
+            _, targets, value = cont
+            for tid, home in targets:
+                call_id = self._alloc_call_id()
+                msg = remote_call(
+                    "deliver_value", call_id, tcb.tid, target=tid, value=value
+                )
+                self._send(tcb.cluster, home, msg)
+            self._step(tcb, None)
+        elif tag == "send_resume":
+            _, home, msg = cont
+            self._send(tcb.cluster, home, msg)
+            self._step(tcb, None)
+        else:  # pragma: no cover - tags are exhaustive
+            raise SysVMError(f"task {tcb.tid}: unknown continuation {tag!r}")
 
     def _block(self, tcb: TCB, waiting: Tuple) -> None:
         tcb.transition(TaskState.BLOCKED)
@@ -369,6 +464,8 @@ class Runtime:
         tcb.result = result
         tcb.finished_at = self.machine.now
         tcb.pe = None
+        tcb.cont = None
+        tcb.journal.clear()  # finished tasks are never replayed
         self.cluster_load[tcb.cluster] -= 1
         release_record(self.heaps[tcb.cluster], tcb.record)
         if not tcb.retain_data:
@@ -401,6 +498,8 @@ class Runtime:
         tcb.error = exc
         tcb.finished_at = self.machine.now
         tcb.pe = None
+        tcb.cont = None
+        tcb.journal.clear()
         self.cluster_load[tcb.cluster] -= 1
         release_record(self.heaps[tcb.cluster], tcb.record)
         if not tcb.retain_data:
@@ -621,12 +720,12 @@ class Runtime:
         if isinstance(effect, fx.Compute):
             if effect.flops:
                 self.metrics.incr("proc.flops", effect.flops)
-            self._burst(tcb, effect.cycles, lambda: self._step(tcb, None))
+            self._burst(tcb, effect.cycles, ("step", None))
         elif isinstance(effect, fx.CreateArray):
             arr = np.array(effect.data, copy=True)
             handle = self.data.register(arr, tcb.cluster, owner_task=tcb.tid)
             cost = cfg.word_touch_cycles * int(arr.size)
-            self._burst(tcb, cost, lambda: self._step(tcb, handle))
+            self._burst(tcb, cost, ("step", handle))
         elif isinstance(effect, fx.FreeArray):
             if effect.handle.owner_task != tcb.tid:
                 raise SysVMError(
@@ -634,7 +733,7 @@ class Runtime:
                     f"{effect.handle.owner_task}"
                 )
             self.data.drop(effect.handle)
-            self._burst(tcb, 1, lambda: self._step(tcb, None))
+            self._burst(tcb, 1, ("step", None))
         elif isinstance(effect, fx.ReadWindow):
             self._do_window_read(tcb, effect.window)
         elif isinstance(effect, fx.WriteWindow):
@@ -646,7 +745,7 @@ class Runtime:
         elif isinstance(effect, fx.WaitPause):
             if effect.tid in tcb.pause_events:
                 tcb.pause_events.discard(effect.tid)
-                self._burst(tcb, 1, lambda: self._step(tcb, None))
+                self._burst(tcb, 1, ("step", None))
             else:
                 self._block(tcb, ("pause_of", effect.tid))
         elif isinstance(effect, fx.Pause):
@@ -656,18 +755,13 @@ class Runtime:
             if home is None:
                 raise SysVMError(f"resume of unknown task {effect.tid}")
             msg = resume_task(effect.tid, tcb.tid)
-
-            def _send_resume():
-                self._send(tcb.cluster, home, msg)
-                self._step(tcb, None)
-
-            self._burst(tcb, cfg.message_fixed_cycles, _send_resume)
+            self._burst(tcb, cfg.message_fixed_cycles, ("send_resume", home, msg))
         elif isinstance(effect, fx.Broadcast):
             self._do_broadcast(tcb, tuple(effect.tids), effect.value)
         elif isinstance(effect, fx.Receive):
             if tcb.mailbox:
                 value = tcb.mailbox.popleft()
-                self._burst(tcb, 1, lambda: self._step(tcb, value))
+                self._burst(tcb, 1, ("step", value))
             else:
                 self._block(tcb, ("receive",))
         elif isinstance(effect, fx.RemoteCall):
@@ -688,18 +782,16 @@ class Runtime:
             value = window.read_from(self.data.raw(window.handle))
             cost = cfg.word_touch_cycles * window.words
             self.metrics.incr("win.local_reads")
-            self._burst(tcb, cost, lambda: self._step(tcb, value))
+            self._burst(tcb, cost, ("step", value))
         else:
             self.metrics.incr("win.remote_reads")
-            call_id = next(self._call_id)
+            call_id = self._alloc_call_id()
             msg = remote_call("window_read", call_id, tcb.tid, window=window)
             self._pending_rpc[call_id] = tcb.tid
-
-            def _send_read():
-                self._send(tcb.cluster, owner_cluster, msg)
-                self._block(tcb, ("rpc", call_id))
-
-            self._burst(tcb, cfg.message_fixed_cycles, _send_read)
+            self._burst(
+                tcb, cfg.message_fixed_cycles,
+                ("send_rpc", owner_cluster, msg, call_id),
+            )
 
     def _do_window_write(self, tcb: TCB, window, data, accumulate: bool) -> None:
         cfg = self.machine.config
@@ -711,26 +803,24 @@ class Runtime:
             window.write_to(self.data.raw(window.handle), data, accumulate=accumulate)
             cost = cfg.word_touch_cycles * window.words
             self.metrics.incr("win.local_writes")
-            self._burst(tcb, cost, lambda: self._step(tcb, None))
+            self._burst(tcb, cost, ("step", None))
         else:
             self.metrics.incr("win.remote_writes")
-            call_id = next(self._call_id)
+            call_id = self._alloc_call_id()
             msg = remote_call(
                 "window_write", call_id, tcb.tid,
                 window=window, data=data, accumulate=accumulate,
             )
             self._pending_rpc[call_id] = tcb.tid
-
-            def _send_write():
-                self._send(tcb.cluster, owner_cluster, msg)
-                self._block(tcb, ("rpc", call_id))
-
-            self._burst(tcb, cfg.message_fixed_cycles, _send_write)
+            self._burst(
+                tcb, cfg.message_fixed_cycles,
+                ("send_rpc", owner_cluster, msg, call_id),
+            )
 
     def _do_initiate(self, tcb: TCB, effect: fx.Initiate) -> None:
         cfg = self.machine.config
         block = self.registry.get(effect.task_type)  # validates the type
-        tids = [next(self._tid) for _ in range(effect.count)]
+        tids = [self._alloc_tid() for _ in range(effect.count)]
         # group replications by target cluster
         by_cluster: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
         for index, tid in enumerate(tids):
@@ -753,40 +843,20 @@ class Runtime:
             msg.payload["parent"] = tcb.tid
             messages.append((target, msg))
         format_cost = cfg.message_fixed_cycles * len(messages)
-
-        def _send_all():
-            for target, msg in messages:
-                self._send(tcb.cluster, target, msg)
-            self._step(tcb, list(tids))
-
-        self._burst(tcb, format_cost, _send_all)
+        self._burst(tcb, format_cost, ("send_initiate", messages, tids))
 
     def _do_wait_children(self, tcb: TCB, tids: Tuple[int, ...]) -> None:
         have = set(tcb.child_results.keys())
         wanted = set(tids)
         if wanted.issubset(have):
             results = {t: tcb.child_results.pop(t) for t in wanted}
-            self._burst(tcb, 1, lambda: self._step(tcb, results))
+            self._burst(tcb, 1, ("step", results))
         else:
             self._block(tcb, ("children", frozenset(wanted)))
 
     def _do_pause(self, tcb: TCB) -> None:
         cfg = self.machine.config
-
-        def _send_pause():
-            if tcb.parent is not None:
-                parent = self.tasks.get(tcb.parent)
-                pcluster = parent.cluster if parent else tcb.cluster
-                self._send(tcb.cluster, pcluster, pause_notify(tcb.tid, tcb.parent))
-            tcb.transition(TaskState.PAUSED)
-            tcb.pe = None
-            self.metrics.incr("task.pauses")
-            if getattr(tcb, "pending_resume", False):
-                tcb.pending_resume = False
-                self._wake(tcb, None)
-            self.kernels[tcb.cluster].kick()
-
-        self._burst(tcb, cfg.message_fixed_cycles, _send_pause)
+        self._burst(tcb, cfg.message_fixed_cycles, ("send_pause",))
 
     def _do_broadcast(self, tcb: TCB, tids: Tuple[int, ...], value: Any) -> None:
         cfg = self.machine.config
@@ -797,17 +867,10 @@ class Runtime:
                 raise SysVMError(f"broadcast to unknown task {tid}")
             targets.append((tid, home))
         self.metrics.incr("comm.broadcasts")
-
-        def _send_bcast():
-            for tid, home in targets:
-                call_id = next(self._call_id)
-                msg = remote_call(
-                    "deliver_value", call_id, tcb.tid, target=tid, value=value
-                )
-                self._send(tcb.cluster, home, msg)
-            self._step(tcb, None)
-
-        self._burst(tcb, cfg.message_fixed_cycles * max(1, len(targets)), _send_bcast)
+        self._burst(
+            tcb, cfg.message_fixed_cycles * max(1, len(targets)),
+            ("send_bcast", targets, value),
+        )
 
     def _do_remote_call(self, tcb: TCB, effect: fx.RemoteCall) -> None:
         cfg = self.machine.config
@@ -829,15 +892,10 @@ class Runtime:
             if (target, effect.proc) not in self._code_sent:
                 self._code_sent.add((target, effect.proc))
                 self._send(tcb.cluster, target, load_code(effect.proc, block.load_words))
-        call_id = next(self._call_id)
+        call_id = self._alloc_call_id()
         msg = remote_call("proc", call_id, tcb.tid, proc=effect.proc, args=effect.args)
         self._pending_rpc[call_id] = tcb.tid
-
-        def _send_call():
-            self._send(tcb.cluster, target, msg)
-            self._block(tcb, ("rpc", call_id))
-
-        self._burst(tcb, cfg.message_fixed_cycles, _send_call)
+        self._burst(tcb, cfg.message_fixed_cycles, ("send_rpc", target, msg, call_id))
 
     # -- fault recovery -----------------------------------------------------------------
 
@@ -864,26 +922,38 @@ class Runtime:
             tcb.pe = None
             tcb.waiting = None
             tcb.wake_value = None
+            tcb.cont = None
+            tcb.journal.clear()  # the restart begins a fresh history
             tcb.transition(TaskState.READY)
             self.metrics.incr("fault.task_restarts")
             self.ready[tcb.cluster].push(tcb)
             self.kernels[tcb.cluster].kick()
 
-    def recover_cluster_failure(self, cluster_id: int) -> None:
+    def recover_cluster_failure(
+        self, cluster_id: int, dropped: Sequence = ()
+    ) -> None:
         """A whole cluster is gone: its tasks (and their data) are lost.
 
         Parents waiting on lost children are woken with an error result —
-        the system "detects" the failure rather than deadlocking.
+        the system "detects" the failure rather than deadlocking.  Beyond
+        the cluster's resident tasks, two more populations must be
+        reported: tasks whose INITIATE was sitting in the dead cluster's
+        input queue (*dropped*, captured by the fault injector before the
+        queue was cleared) and tasks whose INITIATE is still traversing
+        the network toward the dead cluster (``machine.in_flight()``).
         """
         lost = [
             t for t in self.tasks.values()
             if t.cluster == cluster_id and t.is_live()
         ]
         for tcb in lost:
-            tcb.coro.close()
+            if tcb.coro is not None:
+                tcb.coro.close()
             tcb.state = TaskState.FAILED  # direct: heap/records died with the cluster
             tcb.error = RoutingError(f"cluster {cluster_id} failed")
             tcb.pe = None
+            tcb.cont = None
+            tcb.journal.clear()
             self.cluster_load[tcb.cluster] -= 1
             self.metrics.incr("fault.tasks_lost")
             result = ("__error__", f"lost to cluster {cluster_id} failure")
@@ -895,17 +965,46 @@ class Runtime:
                     if waiter is not None and waiter.waiting == ("rpc", call_id):
                         self._wake(waiter, result)
             elif tcb.parent is not None:
-                parent = self.tasks.get(tcb.parent)
-                if parent is not None and parent.is_live():
-                    parent.children.discard(tcb.tid)
-                    parent.child_results[tcb.tid] = result
-                    if parent.waiting and parent.waiting[0] == "children":
-                        wanted = parent.waiting[1]
-                        if wanted.issubset(parent.child_results.keys()):
-                            results = {t: parent.child_results.pop(t) for t in wanted}
-                            self._wake(parent, results)
+                self._report_lost_child(tcb.tid, tcb.parent, result)
             else:
                 self.root_results[tcb.tid] = result
+        # INITIATEs that never ran: queued at the cluster when it died,
+        # or still in flight toward it
+        doomed = list(dropped)
+        doomed.extend(
+            p for dst, p in self.machine.in_flight() if dst == cluster_id
+        )
+        for msg in doomed:
+            if not isinstance(msg, Message) or msg.kind is not MsgKind.INITIATE_TASK:
+                continue
+            payload = msg.payload
+            result = ("__error__", f"lost to cluster {cluster_id} failure")
+            for tid in payload.get("tids", []):
+                if tid in self.tasks:
+                    continue  # the task exists somewhere; not this message's loss
+                self.metrics.incr("fault.tasks_lost")
+                home = self._task_home.get(tid)
+                if home is not None:
+                    self.cluster_load[home] -= 1
+                parent_tid = payload.get("parent")
+                if parent_tid is not None:
+                    self._report_lost_child(tid, parent_tid, result)
+                else:
+                    self.root_results[tid] = result
+
+    def _report_lost_child(self, tid: int, parent_tid: int, result: Any) -> None:
+        """Record a lost child's error result with its parent, waking the
+        parent if this completes the set it was waiting on."""
+        parent = self.tasks.get(parent_tid)
+        if parent is None or not parent.is_live():
+            return
+        parent.children.discard(tid)
+        parent.child_results[tid] = result
+        if parent.waiting and parent.waiting[0] == "children":
+            wanted = parent.waiting[1]
+            if wanted.issubset(parent.child_results.keys()):
+                results = {t: parent.child_results.pop(t) for t in wanted}
+                self._wake(parent, results)
 
     # -- placement ---------------------------------------------------------------------
 
@@ -930,8 +1029,13 @@ class Runtime:
 
         Raises :class:`SchedulingError` with a diagnosis if tasks remain
         live after the event queue drains (deadlock or lost wakeup).
+        A halted engine (fault recovery pending) returns the results so
+        far without the stuck-task check — the recovery driver decides
+        how to resume.
         """
         self.machine.run_to_completion(max_events=max_events)
+        if self.machine.engine.halted:
+            return dict(self.root_results)
         stuck = [t for t in self.tasks.values() if t.is_live()]
         if stuck:
             detail = ", ".join(
@@ -953,3 +1057,136 @@ class Runtime:
 
     def live_task_count(self) -> int:
         return sum(1 for t in self.tasks.values() if t.is_live())
+
+    # -- checkpoint/restore --------------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """Every piece of OS state as plain data.  Requires journaling —
+        task coroutines cannot be serialized, so restore recreates them
+        from the registered bodies and replays the journals.
+
+        Worker-PE bursts in flight are captured as (tid, end time, seq,
+        cycles); the continuation each one completes into is already on
+        the TCB (``cont``).  The registry and task bodies are *not*
+        serialized — restore targets a freshly built program that has
+        re-registered the same types.
+        """
+        if not self.journaling:
+            raise CkptError(
+                "runtime journaling is off; build the program with "
+                "journal=True to make it checkpointable"
+            )
+        bursts = []
+        for tcb in self.tasks.values():
+            if tcb.state is TaskState.RUNNING and tcb.pe is not None:
+                ev = tcb.pe._burst_event
+                if ev is not None:
+                    bursts.append((tcb.tid, ev.time, ev.seq, ev.args[0]))
+        return {
+            "tid": self._tid,
+            "call_id": self._call_id,
+            "rr": self._rr,
+            "data": self.data.snapshot(),
+            "heaps": [h.snapshot() for h in self.heaps],
+            "code_stores": [cs.snapshot() for cs in self.code_stores],
+            "tasks": [t.snapshot() for t in self.tasks.values()],
+            "root_results": dict(self.root_results),
+            "code_sent": sorted(self._code_sent),
+            "awaiting_code": [
+                (k, list(v)) for k, v in sorted(self._awaiting_code.items())
+            ],
+            "pending_rpc": dict(self._pending_rpc),
+            "task_home": dict(self._task_home),
+            "cluster_load": list(self.cluster_load),
+            "early": {
+                tid: {"mail": list(e["mail"]), "resume": e["resume"]}
+                for tid, e in self._early.items()
+            },
+            "ready": [[t.tid for t in rq] for rq in self.ready],
+            "kernels": [k.snapshot() for k in self.kernels],
+            "bursts": sorted(bursts, key=lambda b: (b[1], b[2])),
+        }
+
+    def restore(self, state: Dict, pending: List) -> None:
+        """Install OS state into this (freshly built) runtime.  Burst and
+        kernel completions are appended to *pending* as (time, seq,
+        thunk); the coordinator re-schedules them in original order."""
+        if not self.journaling:
+            raise CkptError("cannot restore into a runtime without journaling")
+        self._tid = state["tid"]
+        self._call_id = state["call_id"]
+        self._rr = state["rr"]
+        self.data.restore(state["data"])
+        for heap, hstate in zip(self.heaps, state["heaps"]):
+            heap.restore(hstate)
+        for store, cstate in zip(self.code_stores, state["code_stores"]):
+            store.restore(cstate)
+        self.root_results = dict(state["root_results"])
+        self._code_sent = {tuple(k) for k in state["code_sent"]}
+        self._awaiting_code = defaultdict(list)
+        for key, entries in state["awaiting_code"]:
+            self._awaiting_code[tuple(key)] = list(entries)
+        self._pending_rpc = dict(state["pending_rpc"])
+        self._task_home = dict(state["task_home"])
+        self.cluster_load = list(state["cluster_load"])
+        self._early = defaultdict(lambda: {"mail": [], "resume": False})
+        for tid, entry in state["early"].items():
+            self._early[tid] = {"mail": list(entry["mail"]), "resume": entry["resume"]}
+        self.tasks = {}
+        self._task_spans = {}
+        for tstate in state["tasks"]:
+            tcb = self._restore_task(tstate)
+            self.tasks[tcb.tid] = tcb
+        # recreate coroutines of live tasks by replaying their journals
+        for tcb in self.tasks.values():
+            if tcb.is_live():
+                self._replay(tcb)
+        for rq, tids in zip(self.ready, state["ready"]):
+            rq._queue = deque(self.tasks[t] for t in tids)
+        # kernels reference TCBs, so tasks had to come first
+        for kernel, kstate in zip(self.kernels, state["kernels"]):
+            kernel.restore(kstate, pending)
+        for tid, end_time, seq, cycles in state["bursts"]:
+            tcb = self.tasks[tid]
+            pending.append((
+                end_time, seq,
+                lambda t=tcb, c=cycles, e=end_time: t.pe.resume_burst(
+                    c, e, lambda: self._continue(t)
+                ),
+            ))
+
+    def _restore_task(self, s: Dict) -> TCB:
+        rec = s["record"]
+        record = ActivationRecord(
+            task_id=rec["task_id"],
+            task_type=rec["task_type"],
+            cluster=rec["cluster"],
+            heap_addr=rec["heap_addr"],
+            size_words=rec["size_words"],
+            params=rec["params"],
+            locals=dict(rec["locals"]),
+            released=rec["released"],
+        )
+        tcb = TCB(
+            tid=s["tid"],
+            task_type=s["task_type"],
+            cluster=s["cluster"],
+            parent=s["parent"],
+            coro=None,
+            record=record,
+        )
+        tcb.restore(s)
+        tcb.pe = (
+            self.machine.cluster(tcb.cluster).pes[s["pe_index"]]
+            if s["pe_index"] is not None
+            else None
+        )
+        # reopen a fresh span for live tasks so post-restore activity has
+        # a home; the original parent link is lost across the restore
+        if tcb.is_live() and self.obs is not None and self.obs.enabled:
+            self._task_spans[tcb.tid] = self.obs.begin(
+                "sysvm.task", tcb.task_type, self.machine.now,
+                parent=self.obs_root_parent, tid=tcb.tid, cluster=tcb.cluster,
+                restored=True,
+            )
+        return tcb

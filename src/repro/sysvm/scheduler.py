@@ -80,6 +80,14 @@ class TCB:
     created_at: int = 0
     first_run_at: Optional[int] = None
     finished_at: Optional[int] = None
+    #: pending continuation descriptor while a PE burst is in flight:
+    #: ("step", value) | ("send_rpc", dst, msg, call_id) |
+    #: ("send_initiate", messages, tids) | ("send_pause",) |
+    #: ("send_bcast", targets, value) | ("send_resume", home, msg)
+    cont: Optional[Tuple] = None
+    #: deterministic-replay journal: every ("send", value)/("throw", exc)
+    #: fed to the coroutine, recorded only when the runtime journals
+    journal: List[Tuple[str, Any]] = field(default_factory=list)
 
     def transition(self, new: TaskState) -> None:
         if new not in _TRANSITIONS[self.state]:
@@ -90,6 +98,72 @@ class TCB:
 
     def is_live(self) -> bool:
         return self.state not in (TaskState.DONE, TaskState.FAILED)
+
+    # the coroutine is recreated from the registered body + journal
+    # replay; the PE binding and activation record are rebuilt by the
+    # runtime (which owns the PE objects and the heap)
+    _snapshot_exempt = ("coro", "pe", "record")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every TCB field as plain data (lint rule S1 audits this list
+        against the dataclass fields above)."""
+        rec = self.record
+        return {
+            "tid": self.tid,
+            "task_type": self.task_type,
+            "cluster": self.cluster,
+            "parent": self.parent,
+            "state": self.state.value,
+            "pe_index": self.pe.index if self.pe is not None else None,
+            "result": self.result,
+            "error": self.error,
+            "retain_data": self.retain_data,
+            "waiting": self.waiting,
+            "wake_value": self.wake_value,
+            "child_results": dict(self.child_results),
+            "children": sorted(self.children),
+            "pause_events": sorted(self.pause_events),
+            "mailbox": list(self.mailbox),
+            "rpc_reply_to": self.rpc_reply_to,
+            "pending_resume": self.pending_resume,
+            "created_at": self.created_at,
+            "first_run_at": self.first_run_at,
+            "finished_at": self.finished_at,
+            "cont": self.cont,
+            "journal": list(self.journal),
+            "record": {
+                "task_id": rec.task_id,
+                "task_type": rec.task_type,
+                "cluster": rec.cluster,
+                "heap_addr": rec.heap_addr,
+                "size_words": rec.size_words,
+                "params": rec.params,
+                "locals": dict(rec.locals),
+                "released": rec.released,
+            },
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Install plain fields; ``coro``/``pe``/``record`` are rebuilt
+        by :meth:`Runtime.restore` (journal replay / PE lookup / heap)."""
+        self.coro = None
+        self.state = TaskState(state["state"])
+        self.result = state["result"]
+        self.error = state["error"]
+        self.retain_data = state["retain_data"]
+        self.waiting = state["waiting"]
+        self.wake_value = state["wake_value"]
+        self.child_results = dict(state["child_results"])
+        self.children = set(state["children"])
+        self.pause_events = set(state["pause_events"])
+        self.mailbox = deque(state["mailbox"])
+        self.rpc_reply_to = state["rpc_reply_to"]
+        self.pending_resume = state["pending_resume"]
+        self.created_at = state["created_at"]
+        self.first_run_at = state["first_run_at"]
+        self.finished_at = state["finished_at"]
+        self.cont = state["cont"]
+        self.journal = list(state["journal"])
 
 
 class DispatchPolicy:

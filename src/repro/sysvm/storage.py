@@ -10,7 +10,6 @@ measures and estimates in the same units.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -97,13 +96,14 @@ class DataStore:
         self.machine = machine
         self._arrays: Dict[int, np.ndarray] = {}
         self._handles: Dict[int, ArrayHandle] = {}
-        self._ids = itertools.count(1)
+        self._next_id = 1
 
     def register(
         self, data: np.ndarray, cluster: int, owner_task: Optional[int] = None
     ) -> ArrayHandle:
         data = np.asarray(data)
-        aid = next(self._ids)
+        aid = self._next_id
+        self._next_id += 1
         handle = ArrayHandle(aid, data.shape, str(data.dtype), cluster, owner_task)
         self.machine.cluster(cluster).memory.reserve(
             ARRAY_DESCRIPTOR_WORDS + int(data.size), tag="arrays"
@@ -135,6 +135,27 @@ class DataStore:
         for h in doomed:
             self.drop(h)
         return len(doomed)
+
+    def snapshot(self) -> Dict:
+        """Arrays, handles (as field tuples; ArrayHandle is frozen), and
+        the id counter.  Shared-memory words are accounted by the
+        hardware snapshot, so restore installs without re-reserving."""
+        return {
+            "next_id": self._next_id,
+            "arrays": [
+                (aid, self._arrays[aid],
+                 (h.array_id, tuple(h.shape), h.dtype, h.cluster, h.owner_task))
+                for aid, h in self._handles.items()
+            ],
+        }
+
+    def restore(self, state: Dict) -> None:
+        self._next_id = state["next_id"]
+        self._arrays = {}
+        self._handles = {}
+        for aid, arr, hfields in state["arrays"]:
+            self._arrays[aid] = arr
+            self._handles[aid] = ArrayHandle(*hfields)
 
     def live_handles(self) -> Tuple[ArrayHandle, ...]:
         return tuple(self._handles.values())

@@ -18,7 +18,12 @@ LANDMARKS = {
         "design-order study",
         "converged: True",
     ],
-    "fault_tolerant_run.py": ["healthy workers", "after cluster 1 fails"],
+    "fault_tolerant_run.py": [
+        "healthy workers",
+        "after cluster 1 fails",
+        "restored + replayed",
+        "bit-identical to the fault-free run: True",
+    ],
     "multiuser_workstation.py": ["shared database", "CG iterations"],
     "machine_study.py": [
         "predicted ranking",

@@ -96,3 +96,62 @@ class TestClusterFailureRecovery:
         injector.schedule_cluster_failure(5_000, 1)
         results = prog.runtime.run()
         assert results[tid][0] == "__error__"
+
+
+class TestInFlightMessageLoss:
+    """A cluster failing while an INITIATE_TASK is still on the wire must
+    report the never-born child as lost — not leave the parent waiting
+    on a task id that no cluster will ever run."""
+
+    def make_slow_network_program(self):
+        cfg = MachineConfig(n_clusters=2, pes_per_cluster=4,
+                            memory_words_per_cluster=2_000_000,
+                            hop_latency=100_000)
+        prog = Fem2Program(cfg)
+        injector = FaultInjector(prog.machine, reconfigure=True,
+                                 runtime=prog.runtime)
+        return prog, injector
+
+    def test_parent_notified_of_children_lost_in_flight(self):
+        prog, injector = self.make_slow_network_program()
+
+        @prog.task()
+        def work(ctx, index):
+            yield ctx.compute(cycles=10)
+            return index
+
+        @prog.task()
+        def driver(ctx):
+            tids = yield ctx.initiate("work", count=4)
+            results = yield ctx.wait(tids)
+            return sorted(
+                ("lost" if isinstance(r, tuple) else r for r in results.values()),
+                key=str,
+            )
+
+        # messages to cluster 1 are in flight from ~t=50 to ~t=100_050;
+        # kill the cluster squarely in the middle of the flight
+        injector.schedule_cluster_failure(50_000, 1)
+        results = prog.run("driver", cluster=0)
+        assert "lost" in results
+        assert any(isinstance(r, int) for r in results)
+        assert prog.metrics.get("fault.tasks_lost") >= 1
+
+    def test_lost_in_flight_children_counted_once(self):
+        prog, injector = self.make_slow_network_program()
+
+        @prog.task()
+        def work(ctx, index):
+            yield ctx.compute(cycles=10)
+            return index
+
+        @prog.task()
+        def driver(ctx):
+            tids = yield ctx.initiate("work", count=6)
+            results = yield ctx.wait(tids)
+            return [r for r in results.values() if isinstance(r, tuple)]
+
+        injector.schedule_cluster_failure(50_000, 1)
+        lost = prog.run("driver", cluster=0)
+        assert len(lost) >= 1
+        assert prog.metrics.get("fault.tasks_lost") == len(lost)

@@ -107,13 +107,24 @@ class TestMetricsRegistry:
         assert m.histogram("comm.size").mean == 20
         assert m.histogram("absent").count == 0
 
-    def test_snapshot_includes_histograms(self):
+    def test_flat_includes_histograms(self):
         m = MetricsRegistry()
         m.incr("a", 1)
         m.observe("h", 4)
-        snap = m.snapshot()
-        assert snap["a"] == 1
-        assert snap["h.count"] == 1 and snap["h.mean"] == 4
+        flat = m.flat()
+        assert flat["a"] == 1
+        assert flat["h.count"] == 1 and flat["h.mean"] == 4
+
+    def test_snapshot_restore_round_trip(self):
+        m = MetricsRegistry()
+        m.incr("a", 3)
+        m.observe("h", 4)
+        m.observe("h", 8)
+        m2 = MetricsRegistry()
+        m2.restore(m.snapshot())
+        assert m2.get("a") == 3
+        assert m2.histogram("h").mean == 6
+        assert m2.flat() == m.flat()
 
     def test_reset(self):
         m = MetricsRegistry()

@@ -303,6 +303,88 @@ class TestA3:
         assert report.clean
 
 
+class TestS1:
+    def test_snapshot_without_restore_flagged(self):
+        report = lint_source(textwrap.dedent("""
+            class Clock:
+                def snapshot(self):
+                    return {"now": self.now}
+        """))
+        assert codes(report) == ["S1"]
+        assert "restore" in report.findings[0].message
+
+    def test_uncovered_slot_flagged(self):
+        report = lint_source(textwrap.dedent("""
+            class PE:
+                __slots__ = ("state", "cycles", "on_done")
+
+                def snapshot(self):
+                    return {"state": self.state, "cycles": self.cycles}
+
+                def restore(self, state):
+                    self.state = state["state"]
+                    self.cycles = state["cycles"]
+        """))
+        assert codes(report) == ["S1"]
+        assert "'on_done'" in report.findings[0].message
+
+    def test_exempt_field_clean(self):
+        report = lint_source(textwrap.dedent("""
+            class PE:
+                __slots__ = ("state", "on_done")
+                _snapshot_exempt = ("on_done",)
+
+                def snapshot(self):
+                    return {"state": self.state}
+
+                def restore(self, state):
+                    self.state = state["state"]
+        """))
+        assert report.clean
+
+    def test_dataclass_fields_checked(self):
+        report = lint_source(textwrap.dedent("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class TCB:
+                tid: int
+                mailbox: list
+
+                def snapshot(self):
+                    return {"tid": self.tid}
+
+                def restore(self, state):
+                    self.tid = state["tid"]
+        """))
+        assert codes(report) == ["S1"]
+        assert "'mailbox'" in report.findings[0].message
+
+    def test_string_key_coverage_counts(self):
+        """A field serialized via a dict key (not a self.X read) is covered."""
+        report = lint_source(textwrap.dedent("""
+            class Store:
+                __slots__ = ("arrays",)
+
+                def snapshot(self):
+                    return {"arrays": sorted(getattr(self, "arrays"))}
+
+                def restore(self, state):
+                    setattr(self, "arrays", state["arrays"])
+        """))
+        assert report.clean
+
+    def test_class_without_snapshot_ignored(self):
+        report = lint_source(textwrap.dedent("""
+            class Plain:
+                __slots__ = ("a", "b")
+
+                def restore(self, state):
+                    pass
+        """))
+        assert report.clean
+
+
 # -- findings / report plumbing -----------------------------------------------
 
 
