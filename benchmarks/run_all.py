@@ -54,6 +54,7 @@ BENCHES = {
     "e11": ("bench_e11_constructs", "run_e11"),
     "e12": ("bench_e12_workstation", "run_e12"),
     "e13": ("bench_e13_checkpoint", "run_e13"),
+    "e14": ("bench_e14_engine", "run_e14"),
     "a1": ("bench_a1_placement", "run_a1"),
     "a2": ("bench_a2_topology", "run_a2"),
     "a3": ("bench_a3_reduction", "run_a3"),

@@ -16,6 +16,7 @@ every layer as running code:
 * :mod:`repro.analysis` — requirement estimation (Adams & Voigt, ref [8])
 * :mod:`repro.obs`      — observability spine: spans + structured export
 * :mod:`repro.lint`     — static race/deadlock/architecture analyzer
+* :mod:`repro.perf`     — fast-engine equivalence + perf-regression harness
 * :mod:`repro.bench`    — workloads and the experiment harness
 
 Quickstart::
@@ -45,6 +46,7 @@ from . import (
     langvm,
     lint,
     obs,
+    perf,
     sysvm,
 )
 from .errors import Fem2Error
@@ -66,6 +68,7 @@ __all__ = [
     "langvm",
     "lint",
     "obs",
+    "perf",
     "sysvm",
     "Fem2Error",
     "Machine",

@@ -133,6 +133,49 @@ def jacobi(
     )
 
 
+def _sor_sweep_factory(a, diag: np.ndarray, omega: float):
+    """Build the per-sweep update ``x -> x_next`` for SOR.
+
+    The sweep ``(D/ω + L) x_next = b − (U + (1 − 1/ω) D) x`` is a
+    triangular solve per iteration.  The triangular factor is constant,
+    so we LU-factorise it once (``permc_spec="NATURAL"`` keeps the
+    ordering — the factor is already triangular, there is no fill) and
+    each sweep becomes one sparse matvec plus one back-substitution —
+    orders of magnitude faster than a Python loop over rows, with the
+    same fixed point and the same iterate sequence up to float rounding
+    of the identical per-row recurrence.  Falls back to the explicit
+    row loop when the splu path is unavailable (e.g. a SciPy build
+    without SuperLU).
+    """
+    n = a.shape[0]
+    lower = sp.tril(a, k=-1, format="csr")
+    upper = sp.triu(a, k=1, format="csr")
+    d = sp.diags(diag)
+    try:
+        from scipy.sparse.linalg import splu
+
+        m = (d / omega + lower).tocsc()
+        lu = splu(m, permc_spec="NATURAL")
+        rhs_mat = (upper + (1.0 - 1.0 / omega) * d).tocsr()
+
+        def sweep(x: np.ndarray, b: np.ndarray) -> np.ndarray:
+            return lu.solve(b - rhs_mat @ x)
+
+        return sweep
+    except ImportError:  # pragma: no cover - SuperLU is in every SciPy we target
+        indptr, indices, data = a.indptr, a.indices, a.data
+
+        def sweep(x: np.ndarray, b: np.ndarray) -> np.ndarray:
+            x = x.copy()
+            for i in range(n):
+                row = slice(indptr[i], indptr[i + 1])
+                sigma = data[row] @ x[indices[row]] - diag[i] * x[i]
+                x[i] += omega * ((b[i] - sigma) / diag[i] - x[i])
+            return x
+
+        return sweep
+
+
 def sor(
     a,
     b: np.ndarray,
@@ -142,8 +185,9 @@ def sor(
 ) -> SolveResult:
     """Successive over-relaxation (Gauss-Seidel when omega = 1).
 
-    The sweep is inherently sequential per unknown; rows are taken from
-    a CSR structure so the cost is O(nnz) per sweep.
+    The sweep is inherently sequential per unknown; it is applied as a
+    factored triangular solve (see :func:`_sor_sweep_factory`), so the
+    cost is O(nnz) per sweep with no Python-level row loop.
     """
     if not 0 < omega < 2:
         raise SolverError(f"SOR requires 0 < omega < 2, got {omega}")
@@ -157,12 +201,9 @@ def sor(
     b_norm = float(np.linalg.norm(b)) or 1.0
     history = []
     flops = 0
-    indptr, indices, data = a.indptr, a.indices, a.data
+    sweep = _sor_sweep_factory(a, diag, omega)
     for it in range(1, max_iter + 1):
-        for i in range(n):
-            row = slice(indptr[i], indptr[i + 1])
-            sigma = data[row] @ x[indices[row]] - diag[i] * x[i]
-            x[i] += omega * ((b[i] - sigma) / diag[i] - x[i])
+        x = sweep(x, b)
         r = b - a @ x
         res = float(np.linalg.norm(r))
         history.append(res)

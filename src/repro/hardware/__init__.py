@@ -6,8 +6,9 @@ engine clocked in cycles.  This package is the substrate every virtual
 machine above it (sysvm, langvm, appvm) runs on.
 """
 
-from .events import Event, EventEngine
-from .metrics import BusyTracker, Histogram, MetricsRegistry
+from .calqueue import FastEventEngine
+from .events import DEFAULT_ENGINE, ENGINES, Event, EventEngine, forced_engine, resolve_engine
+from .metrics import BusyTracker, Counter, Histogram, MetricsRegistry
 from .pe import PEState, ProcessingElement
 from .memory import SharedMemory
 from .network import TOPOLOGIES, Network, build_topology
@@ -17,9 +18,15 @@ from .faults import FaultInjector, FaultRecord
 from .trace import TraceEvent, TraceRecorder
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "Event",
     "EventEngine",
+    "FastEventEngine",
+    "forced_engine",
+    "resolve_engine",
     "BusyTracker",
+    "Counter",
     "Histogram",
     "MetricsRegistry",
     "PEState",

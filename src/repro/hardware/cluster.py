@@ -49,6 +49,9 @@ class Cluster:
         self.memory = SharedMemory(metrics, cluster_id, memory_words)
         self.input_queue: Deque[Any] = deque()
         self.queue_high_water = 0
+        # the queue-depth metric name is fixed for the cluster's life;
+        # building it once keeps enqueue() free of per-message formatting
+        self._queue_metric = f"queue.cluster{cluster_id}"
         #: installed by the sysvm kernel; called after a message is enqueued
         self.on_message: Optional[Callable[["Cluster"], None]] = None
         self.failed = False
@@ -73,7 +76,7 @@ class Cluster:
         qlen = len(self.input_queue)
         if qlen > self.queue_high_water:
             self.queue_high_water = qlen
-        self.metrics.observe(f"queue.cluster{self.cluster_id}", qlen)
+        self.metrics.observe(self._queue_metric, qlen)
         if self.on_message is not None:
             self.on_message(self)
 

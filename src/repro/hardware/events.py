@@ -13,10 +13,70 @@ are exactly reproducible.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import os
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-from ..errors import SimulationError
+from ..errors import ConfigurationError, SimulationError
+
+#: recognised engine kinds; "default" resolves through
+#: :func:`resolve_engine` (module override, then environment, then fast)
+ENGINES = ("default", "reference", "fast")
+
+#: what ``engine="default"`` means when nothing overrides it.  The fast
+#: calendar-queue engine (:mod:`repro.hardware.calqueue`) is the
+#: production path; the reference heapq engine below stays the oracle.
+DEFAULT_ENGINE = "fast"
+
+#: process-wide override installed by :func:`forced_engine`; None means
+#: "no override".  The equivalence harness (repro.perf) uses this to run
+#: unmodified benchmarks under either engine.
+_FORCED: Optional[str] = None
+
+
+def resolve_engine(kind: str) -> str:
+    """Resolve a :class:`MachineConfig` engine field to a concrete kind.
+
+    Priority: a :func:`forced_engine` override wins over everything
+    (including explicit configs — that is the point of the harness);
+    then an explicit ``"reference"``/``"fast"``; then the
+    ``FEM2_ENGINE`` environment variable; then :data:`DEFAULT_ENGINE`.
+    """
+    if kind not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {kind!r}; one of {ENGINES}"
+        )
+    if _FORCED is not None:
+        return _FORCED
+    if kind != "default":
+        return kind
+    env = os.environ.get("FEM2_ENGINE", "").strip().lower()
+    if env in ("reference", "fast"):
+        return env
+    return DEFAULT_ENGINE
+
+
+@contextlib.contextmanager
+def forced_engine(kind: str) -> Iterator[None]:
+    """Force every machine built inside the block onto one engine.
+
+    The A/B half of the equivalence harness: the same workload code,
+    run twice under ``forced_engine("reference")`` and
+    ``forced_engine("fast")``, must produce identical final metrics,
+    clocks, and checkpoint blobs.
+    """
+    if kind not in ("reference", "fast"):
+        raise ConfigurationError(
+            f"forced_engine needs 'reference' or 'fast', got {kind!r}"
+        )
+    global _FORCED
+    prev = _FORCED
+    _FORCED = kind
+    try:
+        yield
+    finally:
+        _FORCED = prev
 
 
 class Event:
@@ -44,7 +104,14 @@ class Event:
 
 
 class EventEngine:
-    """A priority-queue discrete-event simulator clocked in cycles."""
+    """A priority-queue discrete-event simulator clocked in cycles.
+
+    This is the **reference** engine: one global heap, one event per
+    pop, no batching — simple enough to audit by eye.  Production runs
+    use :class:`repro.hardware.calqueue.FastEventEngine`, which must
+    stay observationally identical to this one (same dispatch order,
+    same clock, same snapshot form); ``repro.perf`` enforces that.
+    """
 
     def __init__(self) -> None:
         self.now: int = 0

@@ -17,8 +17,9 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, FaultError, RoutingError
+from .calqueue import FastEventEngine
 from .cluster import Cluster
-from .events import EventEngine
+from .events import ENGINES, EventEngine, resolve_engine
 from .metrics import MetricsRegistry
 from .network import TOPOLOGIES, Network
 
@@ -42,6 +43,10 @@ class MachineConfig:
     dispatch_cycles: int = 5        # kernel cost to assign a PE
     flop_cycles: int = 1            # cycles per floating-point operation
     word_touch_cycles: int = 1      # cycles per word moved within a cluster
+    #: simulation engine: "reference" (heapq oracle), "fast" (calendar
+    #: queue), or "default" (FEM2_ENGINE env var, then fast).  Both
+    #: engines are observationally identical; see repro.perf.
+    engine: str = "default"
 
     def validate(self) -> None:
         if self.n_clusters < 1:
@@ -57,6 +62,10 @@ class MachineConfig:
             raise ConfigurationError("cost parameters must be non-negative")
         if self.bandwidth_words_per_cycle <= 0:
             raise ConfigurationError("bandwidth must be positive")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; one of {ENGINES}"
+            )
 
     @property
     def total_workers(self) -> int:
@@ -85,7 +94,8 @@ class Machine:
     def __init__(self, config: MachineConfig, tracer=None) -> None:
         config.validate()
         self.config = config
-        self.engine = EventEngine()
+        kind = resolve_engine(config.engine)
+        self.engine = FastEventEngine() if kind == "fast" else EventEngine()
         self.metrics = MetricsRegistry()
         #: span tracer shared by every layer running on this machine
         #: (duck-typed: a repro.obs.Tracer, or None for zero-cost off)

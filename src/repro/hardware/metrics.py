@@ -11,7 +11,6 @@ messages/words of communication.
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -138,28 +137,87 @@ class BusyTracker:
         return self.busy_cycles / elapsed if elapsed else 0.0
 
 
+class Counter:
+    """One slab cell: a mutable float the registry hands out by name.
+
+    Hot call sites (PE burst completion, runtime message send) fetch
+    their cell once via :meth:`MetricsRegistry.counter` and then bump
+    ``cell.value`` directly — one attribute store per event instead of a
+    dict hash + method call.  A cell stays registered for the life of
+    the registry generation; see :attr:`MetricsRegistry.version`.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.value})"
+
+
 class MetricsRegistry:
     """Dotted-name counters and histograms shared by all components.
 
     Counter names follow ``<area>.<detail>`` — e.g. ``proc.flops``,
     ``comm.messages.initiate_task``, ``mem.hwm.cluster0`` — so reports
     can aggregate by prefix.
+
+    Counters are slab-backed: each name maps to a :class:`Counter` cell
+    created lazily on first increment, so a counter appears in
+    :meth:`counters` exactly when it first records something (same
+    observable behavior as the old ``defaultdict`` form, minus the
+    per-event churn).  Components may cache cells via :meth:`counter`
+    and histograms via :meth:`hist`; cached references must be
+    revalidated against :attr:`version`, which moves whenever
+    :meth:`restore` or :meth:`reset` rebuilds the slab.
     """
 
     def __init__(self) -> None:
-        self._counters: Dict[str, float] = defaultdict(float)
+        self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        #: cache-invalidation token for cells handed out by
+        #: :meth:`counter`/:meth:`hist`.  restore() and reset() replace
+        #: the underlying slabs, so they bump this; a call site holding
+        #: cells refetches when its remembered version differs.
+        self.version = 0
+
+    # -- cells -------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the cell for *name* (registers it at 0.0)."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def hist(self, name: str) -> Histogram:
+        """Get-or-create the registered histogram for *name*."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # -- recording ---------------------------------------------------------
 
     def incr(self, name: str, amount: float = 1.0) -> None:
-        self._counters[name] += amount
+        c = self._counters.get(name)
+        if c is None:
+            self._counters[name] = Counter(amount)
+        else:
+            c.value += amount
 
     def set_max(self, name: str, value: float) -> None:
         """Record a high-water mark."""
-        if value > self._counters.get(name, -math.inf):
-            self._counters[name] = value
+        c = self._counters.get(name)
+        if c is None:
+            self._counters[name] = Counter(value)
+        elif value > c.value:
+            c.value = value
 
     def get(self, name: str, default: float = 0.0) -> float:
-        return self._counters.get(name, default)
+        c = self._counters.get(name)
+        return c.value if c is not None else default
 
     def observe(self, name: str, value: float) -> None:
         h = self._histograms.get(name)
@@ -168,29 +226,36 @@ class MetricsRegistry:
         h.observe(value)
 
     def histogram(self, name: str) -> Histogram:
+        """Read-only lookup: the registered histogram, or an empty
+        placeholder (never registered) when *name* has not observed."""
         return self._histograms.get(name, Histogram())
+
+    # -- reporting ---------------------------------------------------------
 
     def by_prefix(self, prefix: str) -> Dict[str, float]:
         """All counters under a dotted prefix, keys relative to it."""
         p = prefix if prefix.endswith(".") else prefix + "."
-        return {k[len(p):]: v for k, v in self._counters.items() if k.startswith(p)}
+        return {
+            k[len(p):]: c.value for k, c in self._counters.items() if k.startswith(p)
+        }
 
     def total(self, prefix: str) -> float:
         return sum(self.by_prefix(prefix).values())
 
     def counters(self) -> Dict[str, float]:
-        return dict(self._counters)
+        return {k: c.value for k, c in self._counters.items()}
 
     def histograms(self) -> Dict[str, Histogram]:
         return dict(self._histograms)
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._histograms.clear()
+        self._counters = {}
+        self._histograms = {}
+        self.version += 1
 
     def flat(self) -> Dict[str, float]:
         """A flat summary including histogram summaries (dotted keys)."""
-        out = dict(self._counters)
+        out = {k: c.value for k, c in self._counters.items()}
         for name, h in self._histograms.items():
             for k, v in h.summary().items():
                 out[f"{name}.{k}"] = v
@@ -200,16 +265,20 @@ class MetricsRegistry:
         """Exact structured state for checkpoint/restore (use
         :meth:`flat` for the lossy reporting form)."""
         return {
-            "counters": dict(self._counters),
+            "counters": {k: c.value for k, c in self._counters.items()},
             "histograms": {n: h.snapshot() for n, h in self._histograms.items()},
         }
 
     def restore(self, state: Dict[str, Any]) -> None:
-        self._counters = defaultdict(float, state["counters"])
+        """Rebuild both slabs in the snapshot's insertion order (the
+        order is part of checkpoint-blob identity) and invalidate every
+        cell previously handed out."""
+        self._counters = {k: Counter(v) for k, v in state["counters"].items()}
         self._histograms = {}
         for name, hstate in state["histograms"].items():
             h = self._histograms[name] = Histogram()
             h.restore(hstate)
+        self.version += 1
 
     def report(self, prefixes: Iterable[str] = ()) -> str:
         """Human-readable dump, optionally restricted to prefixes."""
@@ -217,7 +286,7 @@ class MetricsRegistry:
         if prefixes:
             keys = [k for k in keys if any(k.startswith(p) for p in prefixes)]
         width = max((len(k) for k in keys), default=10)
-        lines = [f"{k:<{width}}  {self._counters[k]:>14,.0f}" for k in keys]
+        lines = [f"{k:<{width}}  {self._counters[k].value:>14,.0f}" for k in keys]
         for name in sorted(self._histograms):
             if prefixes and not any(name.startswith(p) for p in prefixes):
                 continue

@@ -14,7 +14,7 @@ to a busy PE.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 from ..errors import FaultError, SchedulingError
 from .events import EventEngine
@@ -47,6 +47,12 @@ class ProcessingElement:
         self.busy = BusyTracker()
         self.cycles_executed = 0
         self._burst_event = None
+        # cached metrics cells (see MetricsRegistry.counter); fetched on
+        # first use so counters still register at first increment, and
+        # revalidated against metrics.version across restore()/reset()
+        self._cells_version = -1
+        self._bursts_cell = None
+        self._cycles_cell = None
 
     @property
     def pe_id(self) -> Tuple[int, int]:
@@ -56,11 +62,23 @@ class ProcessingElement:
     def name(self) -> str:
         return f"pe{self.cluster_id}.{self.index}"
 
-    def execute(self, cycles: int, on_done: Callable[[], None]) -> None:
-        """Run a compute burst of *cycles*; call *on_done* when finished.
+    def _refresh_cells(self) -> None:
+        """Drop cached metrics cells after a registry restore()/reset()."""
+        self._bursts_cell = None
+        self._cycles_cell = None
+        self._cells_version = self.metrics.version
+
+    def execute(
+        self, cycles: int, on_done: Callable[..., None], *args: Any
+    ) -> None:
+        """Run a compute burst of *cycles*; call ``on_done(*args)`` when
+        finished.
 
         Zero-cycle bursts complete via the event queue too, preserving
-        deterministic ordering.
+        deterministic ordering.  Extra *args* ride on the completion
+        event itself, so hot callers (kernel dispatch, runtime bursts)
+        pass bound methods plus their argument instead of building a
+        closure per burst.
         """
         if self.state is PEState.FAULTY:
             raise FaultError(f"{self.name} is faulty")
@@ -70,21 +88,33 @@ class ProcessingElement:
             raise SchedulingError(f"negative burst length {cycles}")
         self.state = PEState.BUSY
         self.busy.begin(self.engine.now)
-        self.metrics.incr("proc.bursts")
-        self._burst_event = self.engine.schedule(cycles, self._finish, cycles, on_done)
+        if self._cells_version != self.metrics.version:
+            self._refresh_cells()
+        cell = self._bursts_cell
+        if cell is None:
+            cell = self._bursts_cell = self.metrics.counter("proc.bursts")
+        cell.value += 1
+        self._burst_event = self.engine.schedule(
+            cycles, self._finish, cycles, on_done, *args
+        )
 
-    def _finish(self, cycles: int, on_done: Callable[[], None]) -> None:
+    def _finish(self, cycles: int, on_done: Callable[..., None], *args: Any) -> None:
         if self.state is PEState.FAULTY:
             return  # burst was lost to a fault
         self.cycles_executed += cycles
-        self.metrics.incr("proc.cycles", cycles)
+        if self._cells_version != self.metrics.version:
+            self._refresh_cells()
+        cell = self._cycles_cell
+        if cell is None:
+            cell = self._cycles_cell = self.metrics.counter("proc.cycles")
+        cell.value += cycles
         self.busy.end(self.engine.now)
         self.state = PEState.IDLE
         self._burst_event = None
-        on_done()
+        on_done(*args)
 
     def resume_burst(self, total_cycles: int, end_time: int,
-                     on_done: Callable[[], None]) -> None:
+                     on_done: Callable[..., None], *args: Any) -> None:
         """Re-issue the completion event of a burst restored mid-flight.
 
         The PE's BUSY state and busy-since cycle were installed by
@@ -97,7 +127,7 @@ class ProcessingElement:
                 f"{self.name}: resume_burst on a PE restored as {self.state.value}"
             )
         self._burst_event = self.engine.schedule_at(
-            end_time, self._finish, total_cycles, on_done
+            end_time, self._finish, total_cycles, on_done, *args
         )
 
     def snapshot(self) -> dict:

@@ -120,17 +120,44 @@ class Tracer:
     ``capacity`` bounds the retained span list for long simulations
     (further spans are aggregated but not listed; ``dropped`` counts
     them).  Aggregates are always exact regardless of drops.
+
+    ``sample_every=N`` keeps every Nth record attempt and skips the rest
+    entirely — no Span allocation, no list append, no aggregate update —
+    so tracing overhead is pay-for-what-you-record on hot runs.  Skipped
+    attempts are counted in :attr:`sampled_out`; sampling is a
+    deterministic counter (not random), so a given run always keeps the
+    same spans.  With sampling active, aggregates describe the kept
+    subset only; run with the default ``sample_every=1`` when exact
+    profiles (e.g. golden traces) are needed.  Sampling never affects
+    simulation results — the tracer stays purely observational.
     """
 
     enabled = True
 
-    def __init__(self, capacity: int = 250_000) -> None:
+    def __init__(self, capacity: int = 250_000, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
         self.capacity = capacity
+        self.sample_every = sample_every
         self._spans: List[Span] = []
         self._stats: Dict[str, SpanStats] = {}
         self._sid = itertools.count(1)
         self.dropped = 0
         self.recorded = 0
+        self.sampled_out = 0
+        self._tick = 0
+
+    def _take(self) -> bool:
+        """Deterministic 1-in-N sampling decision for one record attempt."""
+        every = self.sample_every
+        if every == 1:
+            return True
+        self._tick += 1
+        if self._tick >= every:
+            self._tick = 0
+            return True
+        self.sampled_out += 1
+        return False
 
     # -- recording ---------------------------------------------------------
 
@@ -142,7 +169,12 @@ class Tracer:
         parent: ParentLike = None,
         **attrs: Any,
     ) -> Span:
-        """Open a span at simulated time *now*; returns it for :meth:`end`."""
+        """Open a span at simulated time *now*; returns it for :meth:`end`.
+
+        Returns ``None`` when sampled out — :meth:`end` accepts None, so
+        callers need no extra guard."""
+        if not self._take():
+            return None
         span = Span(next(self._sid), kind, label, int(now), _parent_sid(parent), attrs)
         self._keep(span)
         return span
@@ -171,6 +203,8 @@ class Tracer:
         ``aggregate_only=True`` skips the flat list entirely — used for
         per-event hardware counts that would flood it.
         """
+        if not self._take():
+            return None
         self._observe(kind, 0)
         if aggregate_only:
             return None
@@ -219,6 +253,8 @@ class Tracer:
         self._stats.clear()
         self.dropped = 0
         self.recorded = 0
+        self.sampled_out = 0
+        self._tick = 0
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -236,6 +272,8 @@ class NullTracer:
     capacity = 0
     dropped = 0
     recorded = 0
+    sample_every = 1
+    sampled_out = 0
 
     def begin(self, kind, label, now, parent=None, **attrs):  # noqa: D102
         return None

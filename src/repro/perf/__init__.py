@@ -1,0 +1,40 @@
+"""Performance layer: the fast-path engine's safety harness.
+
+``repro.perf`` owns the proof obligations of the calendar-queue engine
+(:class:`repro.hardware.calqueue.FastEventEngine`): any workload run
+under ``engine="reference"`` and ``engine="fast"`` must produce
+identical results, final metrics, clocks, and checkpoint blobs.  The
+harness here runs both sides of that A/B and diffs them; the standard
+workloads are small full-stack programs exercising every dispatch path
+(bursts, kernel work, messages, windows, faults' happy path).
+
+See DESIGN.md "Performance layer" for how this gates benchmarks, and
+``benchmarks/bench_e14_engine.py`` for the wall-clock side.
+"""
+
+from .harness import (
+    VOLATILE_KEYS,
+    EngineRun,
+    assert_equivalent,
+    compare_callable,
+    diff_values,
+    equivalence_report,
+    run_workload,
+    strip_volatile,
+)
+from .workloads import WORKLOADS, fault_recovery, message_storm, window_pipeline
+
+__all__ = [
+    "VOLATILE_KEYS",
+    "EngineRun",
+    "assert_equivalent",
+    "compare_callable",
+    "diff_values",
+    "equivalence_report",
+    "run_workload",
+    "strip_volatile",
+    "WORKLOADS",
+    "fault_recovery",
+    "message_storm",
+    "window_pipeline",
+]

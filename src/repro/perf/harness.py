@@ -1,0 +1,222 @@
+"""The engine-equivalence harness: run once per engine, diff everything.
+
+A *workload* is a zero-argument callable that builds a program, runs it
+to completion, and returns ``(program, result)`` — the harness forces
+the engine choice around the whole call via
+:func:`repro.hardware.events.forced_engine`, so workload code never
+mentions engines.  From each run it captures the four observables the
+fast engine must preserve:
+
+* the workload's own **result** value,
+* the final simulated **clock** and **events_processed** count,
+* the flattened **metrics** registry,
+* the **fem2-ckpt/1 blob** of the final program state (when the program
+  was built with ``journal=True``; otherwise blob comparison is skipped
+  and the caller may require it via ``require_ckpt``).
+
+:func:`compare_callable` is the coarser instrument for benchmark
+records: it runs any function under both engines and diffs the
+JSON-like return values after stripping host-time fields — this is how
+``bench_e14_engine.py`` proves the E1–E13 records are engine-invariant.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..ckpt.codec import to_bytes
+from ..errors import CkptError
+from ..hardware.events import forced_engine
+
+#: record keys that legitimately differ between runs (host wall-clock);
+#: :func:`strip_volatile` removes them at any nesting depth before a diff
+VOLATILE_KEYS = ("host_seconds",)
+
+
+@dataclass
+class EngineRun:
+    """Everything observable from one workload execution on one engine."""
+
+    engine: str
+    result: Any
+    clock: int
+    events: int
+    metrics: Dict[str, float]
+    ckpt: Optional[bytes]
+    host_seconds: float
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "clock": self.clock,
+            "events": self.events,
+            "n_metrics": len(self.metrics),
+            "ckpt_bytes": None if self.ckpt is None else len(self.ckpt),
+            "host_seconds": round(self.host_seconds, 4),
+        }
+
+
+def run_workload(kind: str, workload: Callable[[], Tuple[Any, Any]]) -> EngineRun:
+    """Execute *workload* with every machine forced onto engine *kind*."""
+    t0 = time.perf_counter()
+    with forced_engine(kind):
+        program, result = workload()
+    host = time.perf_counter() - t0
+    engine = program.machine.engine
+    try:
+        blob: Optional[bytes] = to_bytes(program.snapshot())
+    except CkptError:
+        blob = None  # journaling off: final-state blob not available
+    return EngineRun(
+        engine=kind,
+        result=result,
+        clock=engine.now,
+        events=engine.events_processed,
+        metrics=dict(program.metrics.flat()),
+        ckpt=blob,
+        host_seconds=host,
+    )
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    try:
+        eq = a == b
+    except Exception:
+        return repr(a) == repr(b)
+    if eq is True or eq is False:
+        return eq
+    # array-likes return elementwise results; collapse via all()
+    try:
+        return bool(getattr(eq, "all")())
+    except Exception:
+        return repr(a) == repr(b)
+
+
+def equivalence_report(
+    workload: Callable[[], Tuple[Any, Any]],
+    require_ckpt: bool = False,
+) -> Dict[str, Any]:
+    """Run *workload* under both engines and diff the observables.
+
+    Returns ``{"equal", "mismatches", "reference", "fast"}`` where
+    ``mismatches`` is a list of human-readable difference descriptions
+    (empty when the engines agree).
+    """
+    ref = run_workload("reference", workload)
+    fast = run_workload("fast", workload)
+    mismatches: List[str] = []
+    if not _values_equal(ref.result, fast.result):
+        mismatches.append(
+            f"result: reference={ref.result!r} fast={fast.result!r}"
+        )
+    if ref.clock != fast.clock:
+        mismatches.append(f"clock: reference={ref.clock} fast={fast.clock}")
+    if ref.events != fast.events:
+        mismatches.append(
+            f"events_processed: reference={ref.events} fast={fast.events}"
+        )
+    if ref.metrics != fast.metrics:
+        keys = sorted(set(ref.metrics) | set(fast.metrics))
+        for k in keys:
+            a, b = ref.metrics.get(k), fast.metrics.get(k)
+            if a != b:
+                mismatches.append(f"metric {k}: reference={a} fast={b}")
+    if ref.ckpt is None or fast.ckpt is None:
+        if require_ckpt:
+            mismatches.append(
+                "checkpoint blob unavailable (build the workload program "
+                "with journal=True to compare fem2-ckpt/1 blobs)"
+            )
+    elif ref.ckpt != fast.ckpt:
+        mismatches.append(
+            f"checkpoint blob: {len(ref.ckpt)} vs {len(fast.ckpt)} bytes, "
+            "contents differ"
+        )
+    return {
+        "equal": not mismatches,
+        "mismatches": mismatches,
+        "reference": ref,
+        "fast": fast,
+    }
+
+
+def assert_equivalent(
+    workload: Callable[[], Tuple[Any, Any]],
+    require_ckpt: bool = False,
+    label: str = "workload",
+) -> Dict[str, Any]:
+    """:func:`equivalence_report`, raising ``AssertionError`` on any diff."""
+    report = equivalence_report(workload, require_ckpt=require_ckpt)
+    if not report["equal"]:
+        detail = "\n  ".join(report["mismatches"])
+        raise AssertionError(
+            f"engines disagree on {label}:\n  {detail}"
+        )
+    return report
+
+
+# -- benchmark-record comparison ------------------------------------------
+
+
+def strip_volatile(value: Any, keys: Tuple[str, ...] = VOLATILE_KEYS) -> Any:
+    """A copy of a JSON-like structure with volatile keys removed at any
+    depth (host wall-clock times differ run to run by construction)."""
+    if isinstance(value, dict):
+        return {
+            k: strip_volatile(v, keys) for k, v in value.items() if k not in keys
+        }
+    if isinstance(value, (list, tuple)):
+        return [strip_volatile(v, keys) for v in value]
+    return value
+
+
+def diff_values(a: Any, b: Any, path: str = "$") -> List[str]:
+    """Paths at which two JSON-like values differ (empty when equal)."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        out: List[str] = []
+        for k in sorted(set(a) | set(b)):
+            if k not in a:
+                out.append(f"{path}.{k}: only in second")
+            elif k not in b:
+                out.append(f"{path}.{k}: only in first")
+            else:
+                out.extend(diff_values(a[k], b[k], f"{path}.{k}"))
+        return out
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return [f"{path}: length {len(a)} vs {len(b)}"]
+        out = []
+        for i, (x, y) in enumerate(zip(a, b)):
+            out.extend(diff_values(x, y, f"{path}[{i}]"))
+        return out
+    if not _values_equal(a, b):
+        return [f"{path}: {a!r} vs {b!r}"]
+    return []
+
+
+def compare_callable(
+    fn: Callable[[], Any],
+    keys: Tuple[str, ...] = VOLATILE_KEYS,
+) -> Dict[str, Any]:
+    """Run *fn* once per engine; diff its return values (volatile keys
+    stripped).  Returns ``{"equal", "diffs", "reference_seconds",
+    "fast_seconds", "reference", "fast"}``."""
+    t0 = time.perf_counter()
+    with forced_engine("reference"):
+        ref = fn()
+    t1 = time.perf_counter()
+    with forced_engine("fast"):
+        fast = fn()
+    t2 = time.perf_counter()
+    ref_s, fast_s = strip_volatile(ref, keys), strip_volatile(fast, keys)
+    diffs = diff_values(ref_s, fast_s)
+    return {
+        "equal": not diffs,
+        "diffs": diffs,
+        "reference_seconds": t1 - t0,
+        "fast_seconds": t2 - t1,
+        "reference": ref_s,
+        "fast": fast_s,
+    }

@@ -1,0 +1,112 @@
+"""Deterministic full-stack workloads for the engine-equivalence harness.
+
+Each workload builds a :class:`~repro.langvm.Fem2Program` with
+journaling on (so the final fem2-ckpt/1 blob is comparable), runs it to
+completion, and returns ``(program, result)``.  Between them they cover
+every engine-facing dispatch path: worker-PE bursts, serialized kernel
+work, cross-cluster messages, window reads/writes, task fan-out/wait,
+restart-mode fault recovery (which exercises *cancelled* events), and
+same-cycle event pileups (zero-cycle bursts).
+
+Workloads take no arguments and use no randomness — the same call
+produces the same simulation on every engine, which is exactly what the
+harness diffs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from ..hardware.faults import FaultInjector
+from ..hardware.machine import MachineConfig
+from ..langvm.parallel import forall_windows
+from ..langvm.program import Fem2Program
+
+__all__ = ["WORKLOADS", "fault_recovery", "message_storm", "window_pipeline"]
+
+
+def _config(**overrides: Any) -> MachineConfig:
+    base = dict(n_clusters=2, pes_per_cluster=3, memory_words_per_cluster=500_000)
+    base.update(overrides)
+    return MachineConfig(**base)
+
+
+def message_storm() -> Tuple[Fem2Program, Any]:
+    """Fan out waves of short tasks so kernel decode/dispatch dominates:
+    many INITIATE/TERMINATE messages, frequent same-cycle completions."""
+    prog = Fem2Program(_config(n_clusters=3), journal=True)
+
+    @prog.task()
+    def spark(ctx, index):
+        # zero- and near-zero-cycle bursts pile events onto shared cycles
+        yield ctx.compute(flops=index % 3)
+        return index * 2
+
+    @prog.task()
+    def main(ctx):
+        total = 0
+        for wave in range(3):
+            tids = yield ctx.initiate("spark", count=6)
+            results = yield ctx.wait(tids)
+            total += sum(results.values())
+        return total
+
+    result = prog.run("main")
+    return prog, result
+
+
+def window_pipeline() -> Tuple[Fem2Program, Any]:
+    """Data-parallel window traffic: remote reads/writes with non-trivial
+    payloads, so network latency and bandwidth serialization matter."""
+    prog = Fem2Program(_config(), journal=True)
+
+    @prog.task()
+    def stage(ctx, win, band):
+        data = yield ctx.read(win)
+        yield ctx.compute(flops=int(data.size) * 4)
+        yield ctx.write(win, data * 0.5 + band)
+
+    @prog.task()
+    def main(ctx):
+        h = yield ctx.create(np.linspace(0.0, 1.0, 64))
+        win = ctx.window(h)
+        for _round in range(2):
+            # disjoint bands per stage task (no overlapping plain writes)
+            yield from forall_windows(ctx, "stage", win, 4)
+        out = yield ctx.read(win)
+        return float(out.sum())
+
+    result = prog.run("main")
+    return prog, result
+
+
+def fault_recovery() -> Tuple[Fem2Program, Any]:
+    """Restart-mode PE failure mid-run: the lost burst's completion event
+    is *cancelled*, covering the engines' skip-on-dispatch paths."""
+    prog = Fem2Program(_config(pes_per_cluster=4), journal=True)
+
+    @prog.task()
+    def grind(ctx, index):
+        yield ctx.compute(flops=400 + 40 * index)
+        return index
+
+    @prog.task()
+    def main(ctx):
+        tids = yield ctx.initiate("grind", count=5)
+        results = yield ctx.wait(tids)
+        return sorted(results.values())
+
+    injector = FaultInjector(prog.machine, runtime=prog.runtime, recovery="restart")
+    injector.schedule_pe_failure(at=120, cluster_id=0, pe_index=1)
+    result = prog.run("main")
+    return prog, result
+
+
+#: name -> workload, in harness execution order
+WORKLOADS: Dict[str, Any] = {
+    "message_storm": message_storm,
+    "window_pipeline": window_pipeline,
+    "fault_recovery": fault_recovery,
+}

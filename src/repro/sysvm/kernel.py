@@ -56,15 +56,16 @@ class Kernel:
     def _start(self, work: Tuple) -> None:
         cfg = self.runtime.machine.config
         self._work = work
+        # bound method + payload ride the completion event directly
+        # (no per-burst closure; see ProcessingElement.execute)
         if work[0] == "msg":
-            msg = work[1]
             self.cluster.kernel_pe.execute(
-                cfg.message_fixed_cycles, lambda: self._finish_msg(msg)
+                cfg.message_fixed_cycles, self._finish_msg, work[1]
             )
         else:
             tcb, pe = work[1]
             self.cluster.kernel_pe.execute(
-                cfg.dispatch_cycles, lambda: self._finish_dispatch(tcb, pe)
+                cfg.dispatch_cycles, self._finish_dispatch, tcb, pe
             )
 
     def _finish_msg(self, msg) -> None:
@@ -123,13 +124,13 @@ class Kernel:
         if w["kind"] == "msg":
             msg = w["msg"]
             self._work = ("msg", msg)
-            done = lambda m=msg: self._finish_msg(m)
+            done_args = (self._finish_msg, msg)
         else:
             tcb = self.runtime.tasks[w["tid"]]
             pe = self.cluster.pes[w["pe"]]
             self._work = ("dispatch", (tcb, pe))
-            done = lambda t=tcb, p=pe: self._finish_dispatch(t, p)
+            done_args = (self._finish_dispatch, tcb, pe)
         pending.append((
             w["end_time"], w["seq"],
-            lambda c=w["cycles"], e=w["end_time"], f=done: kpe.resume_burst(c, e, f),
+            lambda c=w["cycles"], e=w["end_time"], fa=done_args: kpe.resume_burst(c, e, *fa),
         ))

@@ -140,6 +140,9 @@ class Runtime:
         self.trace = trace
         self.data = DataStore(machine)
         self.metrics = machine.metrics
+        # cached per-MsgKind counter cells for _send (see MetricsRegistry)
+        self._msg_cells: Dict = {}
+        self._msg_cells_version = -1
         #: the machine's span tracer (duck-typed; see repro.obs), or None.
         #: Tracing is observational only — it never charges cycles.
         self.obs = machine.tracer
@@ -397,7 +400,8 @@ class Runtime:
         """Charge a PE burst; *cont* is a continuation descriptor (not a
         closure) stored on the TCB so checkpoints can serialize it."""
         tcb.cont = cont
-        tcb.pe.execute(cycles, lambda: self._continue(tcb))
+        # bound method + TCB ride the completion event (no per-burst closure)
+        tcb.pe.execute(cycles, self._continue, tcb)
 
     def _continue(self, tcb: TCB) -> None:
         """Dispatch the task's pending continuation descriptor.  This is
@@ -526,8 +530,21 @@ class Runtime:
 
     def _send(self, src: int, dst: int, msg: Message, extra_delay: int = 0) -> None:
         encode(msg, src, dst)
-        self.metrics.incr(f"comm.messages.{msg.kind.value}")
-        self.metrics.incr(f"comm.message_words.{msg.kind.value}", msg.size_words)
+        # per-kind counter cells, cached so the hot path does one dict
+        # probe on the enum instead of building two f-strings per message
+        m = self.metrics
+        if self._msg_cells_version != m.version:
+            self._msg_cells = {}
+            self._msg_cells_version = m.version
+        cells = self._msg_cells.get(msg.kind)
+        if cells is None:
+            kind = msg.kind.value
+            cells = self._msg_cells[msg.kind] = (
+                m.counter(f"comm.messages.{kind}"),
+                m.counter(f"comm.message_words.{kind}"),
+            )
+        cells[0].value += 1
+        cells[1].value += msg.size_words
         if self.obs is not None and self.obs.enabled:
             self.obs.point(
                 f"sysvm.msg.{msg.kind.value}", msg.kind.value, self.machine.now,
@@ -1151,7 +1168,7 @@ class Runtime:
             pending.append((
                 end_time, seq,
                 lambda t=tcb, c=cycles, e=end_time: t.pe.resume_burst(
-                    c, e, lambda: self._continue(t)
+                    c, e, self._continue, t
                 ),
             ))
 

@@ -140,3 +140,65 @@ class TestMetricsRegistry:
         m.observe("q", 2)
         text = m.report()
         assert "proc.cycles" in text and "1,234" in text and "q" in text
+
+
+class TestCounterCells:
+    """The slab-cell fast path introduced for the calendar-queue engine:
+    cells must stay coherent with every registry view and with the
+    checkpoint contract (insertion order is part of blob identity)."""
+
+    def test_cell_identity_and_direct_bump(self):
+        m = MetricsRegistry()
+        cell = m.counter("proc.bursts")
+        assert cell.value == 0.0
+        cell.value += 3
+        assert m.get("proc.bursts") == 3
+        assert m.counter("proc.bursts") is cell  # stable within a generation
+        m.incr("proc.bursts", 2)
+        assert cell.value == 5  # incr and cell bumps hit the same slab
+
+    def test_version_bumps_invalidate_cached_cells(self):
+        m = MetricsRegistry()
+        v0 = m.version
+        cell = m.counter("a")
+        m.reset()
+        assert m.version > v0
+        m2_state = MetricsRegistry()
+        m2_state.incr("a", 9)
+        m.restore(m2_state.snapshot())
+        assert m.version > v0 + 1
+        # the old cell is orphaned: bumping it must not leak into the
+        # restored registry (call sites refetch on version mismatch)
+        cell.value += 100
+        assert m.get("a") == 9
+
+    def test_flat_vs_snapshot_round_trip_preserves_order(self):
+        m = MetricsRegistry()
+        for name in ("z.last", "a.first", "m.middle"):
+            m.incr(name)
+        m.observe("h", 2)
+        m.set_max("hwm", 7)
+        m2 = MetricsRegistry()
+        m2.restore(m.snapshot())
+        assert m2.flat() == m.flat()
+        assert m2.snapshot() == m.snapshot()
+        # insertion order survives the round trip — fem2-ckpt/1 blobs
+        # are byte-compared, so dict order is part of the contract
+        assert list(m2.counters()) == list(m.counters())
+        assert list(m2.flat()) == list(m.flat())
+
+    def test_set_max_creates_and_raises_cells(self):
+        m = MetricsRegistry()
+        m.set_max("hwm", 4)
+        m.set_max("hwm", 2)
+        assert m.get("hwm") == 4
+        m.set_max("hwm", 9)
+        assert m.counter("hwm").value == 9
+
+    def test_restored_registry_keeps_first_incr_semantics(self):
+        m = MetricsRegistry()
+        m.incr("a")
+        m2 = MetricsRegistry()
+        m2.restore(m.snapshot())
+        m2.incr("b")  # new counter appears at first increment, after "a"
+        assert list(m2.counters()) == ["a", "b"]

@@ -1,0 +1,55 @@
+"""Perf-regression smoke test (tier 1): the fast engine must never be
+slower than 1.2x the reference engine on a dispatch-bound storm.
+
+This is deliberately a *scheduler* microbenchmark — trivial handlers,
+heavy same-cycle collision — because that is the only place the two
+engines differ; full-stack wall-clock is dominated by host-side numpy
+and would hide a scheduler regression.  The full trajectory (speedup
+tables, per-bench records) lives in ``benchmarks/bench_e14_engine.py``;
+this test just keeps the floor from rotting between benchmark runs.
+
+The 1.2x ceiling is generous by design: on this workload the calendar
+queue measures ~2x faster than the heap, so tripping the ceiling means
+the fast path has genuinely regressed, not that CI was noisy.
+"""
+
+import time
+
+from repro.hardware.calqueue import FastEventEngine
+from repro.hardware.events import EventEngine
+
+#: ceiling on fast/reference dispatch time (ISSUE 5 acceptance gate)
+MAX_RATIO = 1.2
+
+
+def storm(engine_cls, n_chains=30, depth=250):
+    """Interleaved event chains with many same-cycle collisions."""
+    eng = engine_cls()
+
+    def hop(chain, left):
+        if left:
+            eng.schedule(2 if chain % 2 else 3, hop, chain, left - 1)
+
+    for c in range(n_chains):
+        eng.schedule(c % 5, hop, c, depth)
+    t0 = time.perf_counter()
+    eng.run()
+    return time.perf_counter() - t0, eng.events_processed, eng.now
+
+
+def best_of(engine_cls, repeats=5):
+    runs = [storm(engine_cls) for _ in range(repeats)]
+    events, clock = runs[0][1], runs[0][2]
+    assert all(r[1:] == (events, clock) for r in runs)
+    return min(r[0] for r in runs), events, clock
+
+
+def test_fast_engine_not_slower():
+    ref_t, ref_events, ref_clock = best_of(EventEngine)
+    fast_t, fast_events, fast_clock = best_of(FastEventEngine)
+    assert (fast_events, fast_clock) == (ref_events, ref_clock)
+    ratio = fast_t / ref_t
+    assert ratio <= MAX_RATIO, (
+        f"fast engine dispatch regressed: {fast_t:.4f}s vs reference "
+        f"{ref_t:.4f}s (ratio {ratio:.2f} > {MAX_RATIO})"
+    )
