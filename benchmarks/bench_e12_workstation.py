@@ -13,6 +13,7 @@ import pytest
 from conftest import run_once
 from repro.appvm import (
     CommandInterpreter,
+    JobSpec,
     MachineService,
     ModelDatabase,
     WorkstationSession,
@@ -77,7 +78,8 @@ def run_multiuser():
         MachineConfig(n_clusters=4, pes_per_cluster=5,
                       memory_words_per_cluster=32_000_000)
     )
-    handles = [service.submit(s.user, s.current, "case1") for s in users]
+    handles = [service.submit(JobSpec(user=s.user, model=s.current,
+                                      load_set="case1")) for s in users]
     service.run()
     for s, handle in zip(users, handles):
         model = s.current

@@ -55,6 +55,7 @@ BENCHES = {
     "e12": ("bench_e12_workstation", "run_e12"),
     "e13": ("bench_e13_checkpoint", "run_e13"),
     "e14": ("bench_e14_engine", "run_e14"),
+    "e15": ("bench_e15_service", "run_e15"),
     "a1": ("bench_a1_placement", "run_a1"),
     "a2": ("bench_a2_topology", "run_a2"),
     "a3": ("bench_a3_reduction", "run_a3"),
@@ -97,7 +98,7 @@ def run_bench(key: str) -> dict:
 
 def traced_profile() -> dict:
     """One traced parallel-CG job: the job → tasks → messages → cycles tree."""
-    from repro.appvm import MachineService, StructureModel
+    from repro.appvm import JobSpec, MachineService, StructureModel
     from repro.fem import LoadSet, Material, rect_grid
     from repro.hardware import MachineConfig
     from repro.obs import Tracer, flame, span_tree, to_record
@@ -117,7 +118,8 @@ def traced_profile() -> dict:
                       memory_words_per_cluster=16_000_000),
         tracer=tracer,
     )
-    service.submit("profiler", model, "case", workers=4)
+    service.submit(JobSpec(user="profiler", model=model, load_set="case",
+                           workers=4))
     service.run()
 
     exp = Experiment("PROFILE", "traced parallel CG: where the cycles went")

@@ -12,9 +12,9 @@ Run:  python examples/multiuser_workstation.py
 
 import numpy as np
 
-from repro import Fem2Program, MachineConfig, WorkstationSession
-from repro.appvm import ModelDatabase
-from repro.fem import parallel_cg_solve, static_solve
+from repro import MachineConfig, WorkstationSession
+from repro.appvm import JobSpec, ModelDatabase, ServicePool, Tenant
+from repro.fem import static_solve
 
 
 def main() -> None:
@@ -51,33 +51,43 @@ def main() -> None:
     carol.store_model()
     print(f"database now holds: {shared_db.keys()}")
 
-    # --- each user's problem runs on the FEM-2 machine ----------------------
-    print("\nsolving the user problems on the FEM-2 machine:")
+    # --- the problems go through the shared job service ---------------------
+    print("\nsubmitting the user problems to the FEM-2 job service:")
     cfg = MachineConfig(n_clusters=4, pes_per_cluster=5,
                         memory_words_per_cluster=8_000_000)
+    pool = ServicePool(
+        n_machines=2, config=cfg,
+        tenants=[Tenant("design", share=2), Tenant("research", share=1)],
+    )
     jobs = [
-        (alice, alice.workspace.get("model:wing_panel"), "gust"),
-        (bob, bob.current, "landing"),
-        (carol, carol.current, "traffic"),
+        (alice, alice.workspace.get("model:wing_panel"), "gust", "design"),
+        (bob, bob.current, "landing", "design"),
+        (carol, carol.current, "traffic", "research"),
     ]
-    individual = []
-    for session, model, load_set in jobs:
-        p = Fem2Program(cfg)
-        info = parallel_cg_solve(
-            p, model.mesh, model.material, model.constraints,
-            model.load_sets[load_set], n_workers=2, tol=1e-8,
-        )
+    handles = [
+        pool.submit(JobSpec(user=session.user, model=model,
+                            load_set=load_set, workers=2, tol=1e-8,
+                            tenant=tenant))
+        for session, model, load_set, tenant in jobs
+    ]
+    pool.run()
+    for (session, model, load_set, _), handle in zip(jobs, handles):
+        res = handle.result()
         ref = static_solve(model.mesh, model.material, model.constraints,
                            model.load_sets[load_set])
-        err = np.abs(info.u - ref.u).max() / (np.abs(ref.u).max() or 1.0)
-        individual.append(p.now)
+        err = np.abs(res.u - ref.u).max() / (np.abs(ref.u).max() or 1.0)
         print(f"  {session.user:<6} {model.name:<11} ({load_set:<8}) "
-              f"{info.iterations:>3} CG iterations, {p.now:>9,} cycles, "
+              f"{res.iterations:>3} CG iterations, "
+              f"waited {handle.queue_wait:>6,} cycles, "
               f"error vs host {err:.1e}")
 
-    print(f"\nsum of individual runs: {sum(individual):,} cycles")
-    print("(each ran alone; the multiprogramming benchmark E2/E12 runs them "
-          "concurrently and measures the overlap)")
+    report = pool.report()
+    print(f"\npool of {report['machines']} machines ran "
+          f"{report['stats']['completed']} jobs in "
+          f"{report['global_cycles']:,} service cycles "
+          f"(utilization {report['utilization']:.0%})")
+    print("(the job-service benchmark E15 drives thousands of these jobs "
+          "with quotas, fair share, and preemption)")
 
 
 if __name__ == "__main__":

@@ -11,7 +11,8 @@ from .workspace import Workspace
 from .display import render_displacements, render_model, render_stresses, render_table
 from .session import WorkstationSession
 from .commands import CommandInterpreter
-from .service import JobHandle, MachineService, SolveJob
+from .scheduler import JobSpec, JobState, ServicePool, Tenant
+from .service import JobHandle, MachineService
 
 __all__ = [
     "AnalysisResult",
@@ -26,6 +27,9 @@ __all__ = [
     "WorkstationSession",
     "CommandInterpreter",
     "JobHandle",
+    "JobSpec",
+    "JobState",
     "MachineService",
-    "SolveJob",
+    "ServicePool",
+    "Tenant",
 ]

@@ -1,14 +1,24 @@
 """The shared analysis service: one FEM-2 machine, many users.
 
 "Provide multi-user access" — this module is the machine-side half of
-that requirement.  Sessions submit solve jobs and get back a
-:class:`JobHandle`; the service runs every pending job *concurrently*
-as independent root tasks on one machine (the outermost level of
-parallelism), then each user reads their result from their handle:
+that requirement.  Sessions submit solve jobs described by a
+:class:`~repro.appvm.scheduler.JobSpec` and get back a
+:class:`~repro.appvm.scheduler.JobHandle`; the service runs every
+pending job *concurrently* as independent root tasks on one machine
+(the outermost level of parallelism), then each user reads their
+result from their handle:
 
-    handle = service.submit("alice", model, "case", workers=4)
+    spec = JobSpec(user="alice", model=model, load_set="case", workers=4)
+    handle = service.submit(spec)
     service.run()
     result = handle.result()
+
+Since the pool rework, :class:`MachineService` is a thin compatibility
+wrapper over a one-machine :class:`~repro.appvm.scheduler.ServicePool`
+in *persistent* drain mode: one program reused across batches, no job
+slots, no quantum slicing — exactly the pre-pool behaviour, traces
+included.  Multi-machine scheduling (tenants, quotas, fair share,
+preemption) lives on :class:`ServicePool` itself.
 
 When the service's machine carries a :mod:`repro.obs` tracer, every job
 opens an ``appvm.job`` span that parents the job's root-task span, so a
@@ -17,76 +27,27 @@ profile links user job → tasks → messages → cycles.
 
 from __future__ import annotations
 
+import itertools
+import re
 import warnings
-from dataclasses import asdict
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from ..ckpt import from_bytes, to_bytes
+from ..ckpt import from_bytes
 from ..errors import AppVMError
-from ..fem import (
-    collect_parallel_cg,
-    recover_stresses,
-    register_parallel_cg,
-    start_parallel_cg,
-)
 from ..hardware.machine import MachineConfig
-from ..langvm import Fem2Program
-from ..lint import lint_program
-from .model import AnalysisResult, StructureModel
+from .model import StructureModel
+from .scheduler import (
+    CKPT_SCHEMA,
+    LINT_MODES,
+    JobHandle,
+    JobSpec,
+    JobState,
+    ServicePool,
+    rebuild_program,
+)
 
-#: schema tag of MachineService checkpoint blobs
-CKPT_SCHEMA = "fem2-ckpt/1"
-
-#: accepted values for MachineService.submit(lint=...)
-LINT_MODES = ("off", "warn", "error")
-
-
-class JobHandle:
-    """One submitted solve job; resolves after :meth:`MachineService.run`."""
-
-    __slots__ = ("user", "model", "load_set", "workers", "tol", "tid", "span",
-                 "_result", "_service")
-
-    def __init__(self, user: str, model: StructureModel, load_set: str,
-                 workers: int, tol: float = 1e-9, service=None) -> None:
-        self.user = user
-        self.model = model
-        self.load_set = load_set
-        self.workers = workers
-        self.tol = tol
-        self.tid: Optional[int] = None
-        self.span = None  # appvm.job span when tracing is on
-        self._result: Optional[AnalysisResult] = None
-        self._service = service
-
-    @property
-    def done(self) -> bool:
-        return self._result is not None
-
-    def result(self) -> AnalysisResult:
-        """The job's analysis result; raises until the service has run."""
-        if self._result is None:
-            raise AppVMError(
-                f"job for {self.user!r} has not run yet (call service.run())"
-            )
-        return self._result
-
-    def checkpoint(self) -> bytes:
-        """Checkpoint the whole service this job runs on (one machine =
-        one checkpoint; sibling jobs are captured too).  Resume with
-        :meth:`MachineService.resume`."""
-        if self._service is None:
-            raise AppVMError("job handle is not attached to a service")
-        return self._service.checkpoint()
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "done" if self.done else "pending"
-        return f"JobHandle({self.user!r}, {self.model.name!r}, {state})"
-
-
-#: deprecated name — jobs used to be plain SolveJob records; JobHandle
-#: keeps the same attributes (user, model, load_set, workers, tid)
-SolveJob = JobHandle
+__all__ = ["CKPT_SCHEMA", "LINT_MODES", "JobHandle", "JobSpec",
+           "MachineService"]
 
 
 class MachineService:
@@ -98,96 +59,61 @@ class MachineService:
         #: checkpointing turns on runtime journaling so the service's
         #: program can be snapshotted (see :meth:`checkpoint`)
         self.checkpointing = checkpointing
-        self.program = Fem2Program(self.config, tracer=tracer,
-                                   journal=checkpointing)
-        self._pending: List[JobHandle] = []
-        self._lint_cache: Dict[tuple, object] = {}
-        self.completed_batches = 0
+        self.pool = ServicePool(
+            n_machines=1, config=self.config, tracer=tracer,
+            quantum=None, machine_slots=None,
+            checkpointing=checkpointing, persistent=True,
+        )
+
+    @property
+    def program(self):
+        return self.pool.machines[0].program
 
     @property
     def tracer(self):
         return self.program.tracer
 
-    def submit(self, user: str, model: StructureModel, load_set: str, *,
-               workers: int = 2, tol: float = 1e-9,
+    @property
+    def completed_batches(self) -> int:
+        return self.pool.completed_batches
+
+    def submit(self, spec: JobSpec = None, model: StructureModel = None,
+               load_set: str = None, *, workers: int = 2, tol: float = 1e-9,
                lint: str = "off") -> JobHandle:
-        """Queue one user's solve; nothing runs until :meth:`run`.
+        """Queue one solve described by a :class:`JobSpec`; nothing runs
+        until :meth:`run`.
 
-        ``lint`` gates the submission on :func:`repro.lint.lint_program`
-        over every task type registered on the service's program:
-        ``"error"`` rejects a program with error-severity findings
-        before any task is spawned, ``"warn"`` emits warnings instead,
-        ``"off"`` (the default) skips the check entirely.
+        ``spec.lint`` gates the submission on
+        :func:`repro.lint.lint_program` over every task type registered
+        on the service's program: ``"error"`` rejects a program with
+        error-severity findings before any task is spawned, ``"warn"``
+        emits warnings instead, ``"off"`` (the default) skips the check.
+
+        .. deprecated:: the positional form
+           ``submit(user, model, load_set, workers=..., tol=..., lint=...)``
+           still works but warns; build a :class:`JobSpec` instead.
         """
-        if lint not in LINT_MODES:
-            raise AppVMError(
-                f"lint must be one of {LINT_MODES}, got {lint!r}")
-        if lint != "off":
-            self._lint_gate(lint)
-        mesh = model.require_mesh()
-        constraints = model.require_constraints()
-        loads = model.load_set(load_set)
-        handle = JobHandle(user, model, load_set, workers, tol=tol, service=self)
-        runtime = self.program.runtime
-        obs = runtime.obs
-        if obs is not None and obs.enabled:
-            handle.span = obs.begin(
-                "appvm.job", f"{user}/{model.name}", self.program.now,
-                user=user, model=model.name, load_set=load_set, workers=workers,
-            )
-        # parent the job's root task under the job span (restored after
-        # spawn so unrelated root tasks stay unparented)
-        runtime.obs_root_parent = handle.span
-        try:
-            handle.tid = start_parallel_cg(
-                self.program, mesh, model.material, constraints, loads,
-                n_workers=workers, tol=tol,
-            )
-        finally:
-            runtime.obs_root_parent = None
-        self._pending.append(handle)
-        return handle
+        if isinstance(spec, JobSpec):
+            if model is not None or load_set is not None:
+                raise AppVMError(
+                    "submit(spec) takes only the JobSpec; put model and "
+                    "load_set inside it")
+            return self.pool.submit(spec)
+        warnings.warn(
+            "MachineService.submit(user, model, load_set, ...) is "
+            "deprecated; pass a JobSpec instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.pool.submit(JobSpec(
+            user=spec, model=model, load_set=load_set,
+            workers=workers, tol=tol, lint=lint,
+        ))
 
-    def _lint_gate(self, mode: str) -> None:
-        """Run :func:`repro.lint.lint_program` over the registered task
-        set (cached per registry state) and enforce its findings."""
-        key = tuple(self.program.runtime.registry.types())
-        report = self._lint_cache.get(key)
-        if report is None:
-            report = lint_program(self.program)
-            self._lint_cache[key] = report
-        report.emit(self.program.runtime.obs, self.program.now)
-        if report.clean:
-            return
-        rendered = "; ".join(f.render() for f in report.findings)
-        if mode == "error" and report.errors:
-            raise AppVMError(f"program rejected by static analysis: {rendered}")
-        warnings.warn(f"static analysis findings: {rendered}",
-                      UserWarning, stacklevel=3)
-
-    def run(self) -> List[JobHandle]:
+    def run(self):
         """Run every submitted job concurrently; resolves their handles."""
-        if not self._pending:
+        if self.pool.pending_count == 0:
             raise AppVMError("no jobs submitted")
-        self.program.runtime.run()
-        obs = self.program.runtime.obs
-        for handle in self._pending:
-            info = collect_parallel_cg(self.program, handle.tid)
-            stresses = recover_stresses(handle.model.require_mesh(),
-                                        handle.model.material, info.u)
-            handle._result = AnalysisResult(
-                handle.model.name, handle.load_set, info.u, stresses,
-                f"fem2-service[{handle.workers}]",
-                iterations=info.iterations,
-                elapsed_cycles=info.elapsed_cycles,
-            )
-            if obs is not None and obs.enabled:
-                obs.end(handle.span, self.program.now,
-                        iterations=info.iterations)
-        finished = self._pending
-        self._pending = []
-        self.completed_batches += 1
-        return finished
+        return self.pool.run()
 
     # -- checkpoint/resume ---------------------------------------------------
 
@@ -199,28 +125,8 @@ class MachineService:
         re-registers each job's solve from its model via
         :func:`repro.fem.register_parallel_cg` before restoring.
         """
-        if not self.checkpointing:
-            raise AppVMError(
-                "service was not built with checkpointing=True"
-            )
-        jobs = []
-        for handle in self._pending:
-            jobs.append({
-                "user": handle.user,
-                "model": handle.model,
-                "load_set": handle.load_set,
-                "workers": handle.workers,
-                "tol": handle.tol,
-                "tid": handle.tid,
-                "root_name": self.program.runtime.tasks[handle.tid].task_type,
-            })
-        return to_bytes({
-            "schema": CKPT_SCHEMA,
-            "config": asdict(self.config),
-            "completed_batches": self.completed_batches,
-            "jobs": jobs,
-            "program": self.program.snapshot(),
-        })
+        return self.pool.machines[0].checkpoint(
+            completed_batches=self.completed_batches)
 
     @classmethod
     def resume(cls, blob: bytes, tracer=None) -> "MachineService":
@@ -231,56 +137,51 @@ class MachineService:
         under their original names, and the program state is restored —
         after which :meth:`run` completes the jobs exactly as the
         original machine would have.
+
+        Accepts both whole-service blobs and the per-job machine blobs
+        produced by :meth:`JobHandle.checkpoint` or pool preemption —
+        they share the ``fem2-ckpt/1`` format.
         """
         state = from_bytes(blob)
         if state.get("schema") != CKPT_SCHEMA:
             raise AppVMError(
                 f"not a MachineService checkpoint (schema={state.get('schema')!r})"
             )
-        service = cls(config=MachineConfig(**state["config"]), tracer=tracer,
-                      checkpointing=True)
+        config = MachineConfig(**state["config"])
+        service = cls(config=config, tracer=tracer, checkpointing=True)
+        pool = service.pool
+        machine = pool.machines[0]
+        machine.program = rebuild_program(config, state, tracer=tracer)
+        machine.dirty = True
         handles = []
         for job in state["jobs"]:
-            model = job["model"]
-            root_name = job["root_name"]
-            register_parallel_cg(
-                service.program,
-                model.require_mesh(),
-                model.material,
-                model.require_constraints(),
-                model.load_set(job["load_set"]),
-                n_workers=job["workers"],
-                tol=job["tol"],
-                worker_name=root_name.replace("cg_root", "cg_worker"),
-                root_name=root_name,
+            spec = JobSpec(
+                user=job["user"], model=job["model"],
+                load_set=job["load_set"], workers=job["workers"],
+                tol=job["tol"], priority=job.get("priority", 0),
+                tenant=job.get("tenant", "default"),
             )
-            handle = JobHandle(job["user"], model, job["load_set"],
-                               job["workers"], tol=job["tol"], service=service)
+            handle = JobHandle(spec, owner=pool, job_id=next(pool._ids))
             handle.tid = job["tid"]
+            handle.state = JobState.RUNNING
+            handle.machine = machine
+            pool.handles.append(handle)
+            pool.tenants.get(spec.tenant).in_flight += 1
             handles.append(handle)
-        service.program.restore(state["program"])
-        service.completed_batches = state["completed_batches"]
-        service._pending = handles
+        machine.jobs = handles
+        pool.completed_batches = state["completed_batches"]
+        # keep post-resume submissions clear of the restored task names
+        max_id = len(handles)
+        for job in state["jobs"]:
+            tagged = re.search(r"\.j(\d+)$", job["root_name"])
+            if tagged:
+                max_id = max(max_id, int(tagged.group(1)))
+        pool._ids = itertools.count(max_id + 1)
         return service
-
-    # -- deprecated batch API ------------------------------------------------
-
-    def run_batch(self) -> Dict[str, AnalysisResult]:
-        """Run all pending jobs; returns ``{user: result}``.
-
-        .. deprecated:: use :meth:`run` and per-job :meth:`JobHandle.result`
-           — a dict keyed by user silently loses jobs when one user
-           submits twice in a batch.
-        """
-        warnings.warn(
-            "MachineService.run_batch() is deprecated; use run() and "
-            "JobHandle.result()", DeprecationWarning, stacklevel=2,
-        )
-        return {h.user: h.result() for h in self.run()}
 
     @property
     def pending_count(self) -> int:
-        return len(self._pending)
+        return self.pool.pending_count
 
     def machine_report(self) -> Dict[str, float]:
         m = self.program.metrics

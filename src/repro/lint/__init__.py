@@ -5,7 +5,7 @@ this package rejects whole classes of violation *before* a single
 simulated cycle is spent.  Three entry points:
 
 * :func:`lint_program` — inspect a built :class:`~repro.langvm.Fem2Program`'s
-  registered task generators (used by ``MachineService.submit(lint=...)``),
+  registered task generators (used by the ``JobSpec.lint`` admission gate),
 * :func:`lint_paths` / :func:`lint_source` — lint files or source text,
 * ``python -m repro.lint [paths...]`` — the CLI (repo architecture
   included when a ``repro`` package root is among the paths).
@@ -14,7 +14,8 @@ Program findings carry stable codes (W1 write-write race, W2 unwaited
 read-write race, D1 missing wait / initiate cycle, O1 raw storage on a
 non-owned handle); architecture findings use A1 (layering), A2 (span
 balance), A3 (public-API drift), S1 (snapshot/restore completeness for
-the :mod:`repro.ckpt` spine).  Every finding has file:line and a
+the :mod:`repro.ckpt` spine), U1 (deprecated flat submit form instead
+of a :class:`~repro.appvm.JobSpec`).  Every finding has file:line and a
 severity, and the report exports to the same plain-record form as the
 :mod:`repro.obs` spine.
 """
@@ -29,6 +30,7 @@ from typing import List
 from .api import check_package_api, check_public_api
 from .astutil import TaskInfo, analyze_task, collect_tasks
 from .cli import lint_files, lint_paths, lint_source, main
+from .deprecated import check_deprecated_api
 from .findings import CODES, SCHEMA, Finding, LintReport
 from .layering import ALLOWED, check_layering, layering_violations
 from .program import check_d1, check_o1, check_tasks, check_w1, check_w2
@@ -82,6 +84,7 @@ __all__ = [
     "TaskInfo",
     "analyze_task",
     "check_d1",
+    "check_deprecated_api",
     "check_layering",
     "check_o1",
     "check_package_api",

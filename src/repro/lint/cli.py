@@ -30,6 +30,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from .api import check_public_api
 from .astutil import TaskInfo, collect_tasks
+from .deprecated import check_deprecated_api
 from .findings import Finding, LintReport
 from .layering import check_layering
 from .program import check_tasks
@@ -86,6 +87,7 @@ def lint_files(files: Sequence[pathlib.Path],
         tasks.extend(collect_tasks(tree, str(f)))
         findings.extend(check_span_balance(tree, str(f)))
         findings.extend(check_snapshots(tree, str(f)))
+        findings.extend(check_deprecated_api(tree, str(f)))
         if f.name == "__init__.py":
             findings.extend(check_public_api(tree, str(f)))
         report.files_checked += 1
@@ -119,6 +121,7 @@ def lint_source(source: str, filename: str = "<string>") -> LintReport:
     report.extend(check_tasks(tasks))
     report.extend(check_span_balance(tree, filename))
     report.extend(check_snapshots(tree, filename))
+    report.extend(check_deprecated_api(tree, filename))
     return report
 
 

@@ -1,0 +1,67 @@
+"""U1 — use of the deprecated flat ``submit(user, model, load_set)``.
+
+The job-service front door takes one :class:`repro.appvm.JobSpec`; the
+positional/keyword pile (``submit(user, model, load_set, workers=...,
+tol=..., lint=...)``) survives only as a DeprecationWarning shim on
+``MachineService``.  This checker keeps the repo itself honest: no
+in-tree code (src, examples, benchmarks) may still call the old form.
+
+Heuristic, on any ``<expr>.submit(...)`` call:
+
+* two or more positional arguments — the old ``(user, model, load_set)``
+  shape (the JobSpec form passes exactly one value),
+* a single positional that is a string literal — the old leading
+  ``user`` argument,
+* any of the old keyword names (``user``/``model``/``load_set``/
+  ``workers``/``tol``/``lint``) — those fields live inside JobSpec now.
+
+Unrelated ``.submit`` methods (e.g. ``concurrent.futures``) could
+collide with the name, but none exist in this repo — and the checker
+only runs over in-tree sources, where the rule is absolute.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .findings import Finding
+
+#: keyword names of the pre-JobSpec submit signature
+_OLD_KWARGS = frozenset(
+    {"user", "model", "load_set", "workers", "tol", "lint"})
+
+
+def _deprecated_shape(call: ast.Call) -> str:
+    """Why this submit call matches the deprecated form ('' if it doesn't)."""
+    if len(call.args) >= 2:
+        return (f"{len(call.args)} positional arguments — the flat "
+                f"(user, model, load_set) form")
+    if len(call.args) == 1 and isinstance(call.args[0], ast.Constant) \
+            and isinstance(call.args[0].value, str):
+        return "a string literal first argument — the old user name"
+    old = sorted(_OLD_KWARGS.intersection(
+        kw.arg for kw in call.keywords if kw.arg))
+    if old:
+        return f"JobSpec fields passed as keywords ({', '.join(old)})"
+    return ""
+
+
+def check_deprecated_api(tree: ast.Module, file: str) -> List[Finding]:
+    """U1 findings for every deprecated-form submit call in a module."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "submit"):
+            continue
+        why = _deprecated_shape(node)
+        if why:
+            findings.append(Finding(
+                "U1",
+                f"deprecated submit form: {why}; build a JobSpec and call "
+                f"submit(spec)",
+                file, node.lineno, severity="warning",
+            ))
+    return findings

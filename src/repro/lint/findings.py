@@ -29,6 +29,7 @@ CODES: Dict[str, str] = {
     "A2": "obs_begin without obs_end on some code path",
     "A3": "public-API drift: __all__ name does not resolve",
     "S1": "incomplete snapshot/restore pair (checkpoint contract)",
+    "U1": "deprecated submit(user, model, load_set) form; use JobSpec",
 }
 
 SEVERITIES = ("error", "warning")

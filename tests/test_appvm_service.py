@@ -1,11 +1,12 @@
 """Tests for the multi-user machine service: concurrent jobs on one
-simulated FEM-2."""
+simulated FEM-2, submitted through the JobSpec front door."""
 
 import numpy as np
 import pytest
 
+import repro.appvm as appvm
 from repro.errors import AppVMError
-from repro.appvm import MachineService, StructureModel
+from repro.appvm import JobSpec, JobState, MachineService, StructureModel
 from repro.fem import LoadSet, Material, rect_grid, static_solve
 from repro.hardware import MachineConfig
 
@@ -27,20 +28,23 @@ def make_service():
     )
 
 
+def spec_for(user, model, **kw):
+    return JobSpec(user=user, model=model, load_set="case", **kw)
+
+
 class TestMachineService:
     def test_concurrent_jobs_all_correct(self):
         service = make_service()
         models = {u: make_model(f"{u}_m", load=-1e4 * (i + 1))
                   for i, u in enumerate(("alice", "bob", "carol"))}
-        for user, model in models.items():
-            service.submit(user, model, "case")
+        handles = {u: service.submit(spec_for(u, m))
+                   for u, m in models.items()}
         assert service.pending_count == 3
-        results = service.run_batch()
-        assert set(results) == {"alice", "bob", "carol"}
+        service.run()
         for user, model in models.items():
             ref = static_solve(model.mesh, model.material, model.constraints,
                                model.load_sets["case"])
-            got = results[user]
+            got = handles[user].result()
             assert np.allclose(got.u, ref.u, atol=1e-6 * abs(ref.u).max())
             assert got.elapsed_cycles > 0
         assert service.pending_count == 0
@@ -52,8 +56,8 @@ class TestMachineService:
         def batch_cycles(n_jobs):
             service = make_service()
             for i in range(n_jobs):
-                service.submit(f"u{i}", make_model(f"m{i}"), "case")
-            service.run_batch()
+                service.submit(spec_for(f"u{i}", make_model(f"m{i}")))
+            service.run()
             return service.program.now
 
         one = batch_cycles(1)
@@ -62,48 +66,119 @@ class TestMachineService:
 
     def test_empty_batch_rejected(self):
         with pytest.raises(AppVMError):
-            make_service().run_batch()
+            make_service().run()
 
     def test_machine_report(self):
         service = make_service()
-        service.submit("u", make_model("m"), "case")
-        service.run_batch()
+        service.submit(spec_for("u", make_model("m")))
+        service.run()
         report = service.machine_report()
         assert report["elapsed_cycles"] > 0
         assert report["tasks"] >= 3
 
     def test_successive_batches(self):
         service = make_service()
-        service.submit("u", make_model("m1"), "case")
-        r1 = service.run_batch()
-        service.submit("u", make_model("m2", load=-2e4), "case")
-        r2 = service.run_batch()
-        assert r2["u"].max_displacement() > r1["u"].max_displacement()
+        h1 = service.submit(spec_for("u", make_model("m1")))
+        service.run()
+        h2 = service.submit(spec_for("u", make_model("m2", load=-2e4)))
+        service.run()
+        assert (h2.result().max_displacement()
+                > h1.result().max_displacement())
         assert service.completed_batches == 2
 
-
-class TestRunBatchDeprecation:
-    def test_run_batch_warns(self):
+    def test_run_returns_batch_handles_in_order(self):
         service = make_service()
-        service.submit("u", make_model("m"), "case")
-        with pytest.warns(DeprecationWarning, match="run_batch"):
-            service.run_batch()
+        submitted = [service.submit(spec_for(f"u{i}", make_model(f"m{i}")))
+                     for i in range(3)]
+        finished = service.run()
+        assert finished == submitted
 
-    def test_run_batch_matches_submit_and_run(self):
-        """The deprecated wrapper returns exactly what run() + per-handle
-        result() produce — same users, same displacement fields."""
+
+class TestJobSpec:
+    def test_validation(self):
+        model = make_model("m")
+        with pytest.raises(AppVMError, match="user"):
+            JobSpec(user="", model=model, load_set="case")
+        with pytest.raises(AppVMError, match="StructureModel"):
+            JobSpec(user="u", model="not-a-model", load_set="case")
+        with pytest.raises(AppVMError, match="workers"):
+            JobSpec(user="u", model=model, load_set="case", workers=0)
+        with pytest.raises(AppVMError, match="lint"):
+            JobSpec(user="u", model=model, load_set="case", lint="loud")
+
+    def test_spec_is_frozen(self):
+        spec = spec_for("u", make_model("m"))
+        with pytest.raises(Exception):
+            spec.workers = 9
+
+    def test_missing_load_set_fails_at_submit(self):
+        spec = JobSpec(user="u", model=make_model("m"), load_set="nope")
+        with pytest.raises(Exception):
+            make_service().submit(spec)
+
+
+class TestJobLifecycle:
+    def test_states_through_a_run(self):
+        service = make_service()
+        spec = spec_for("u", make_model("m"))
+        assert JobSpec is type(spec)
+        handle = service.submit(spec)
+        # single persistent machine, unbounded slots: dispatched eagerly
+        assert handle.state is JobState.RUNNING
+        assert not handle.done
+        with pytest.raises(AppVMError, match="not finished"):
+            handle.result()
+        service.run()
+        assert handle.state is JobState.DONE
+        assert handle.done
+        assert handle.result().iterations > 0
+
+    def test_handle_keeps_flat_views(self):
+        service = make_service()
+        handle = service.submit(spec_for("alice", make_model("m"), workers=3))
+        assert handle.user == "alice"
+        assert handle.model.name == "m"
+        assert handle.load_set == "case"
+        assert handle.workers == 3
+
+    def test_terminal_and_in_flight(self):
+        assert JobState.DONE.terminal and JobState.REJECTED.terminal
+        assert JobState.RUNNING.in_flight and JobState.PREEMPTED.in_flight
+        assert not JobState.REJECTED.in_flight
+
+
+class TestDeprecatedSubmitShim:
+    def test_positional_form_warns_and_works(self):
+        service = make_service()
+        with pytest.warns(DeprecationWarning, match="JobSpec"):
+            handle = service.submit("u", make_model("m"), "case", workers=2)
+        service.run()
+        assert handle.done
+
+    def test_shim_matches_jobspec_form(self):
         new = make_service()
-        handles = {u: new.submit(u, make_model(f"m_{u}"), "case")
-                   for u in ("alice", "bob")}
+        h_new = new.submit(spec_for("alice", make_model("m_alice")))
         new.run()
 
         old = make_service()
-        for u in ("alice", "bob"):
-            old.submit(u, make_model(f"m_{u}"), "case")
         with pytest.warns(DeprecationWarning):
-            batch = old.run_batch()
+            h_old = old.submit("alice", make_model("m_alice"), "case")
+        old.run()
+        assert np.allclose(h_old.result().u, h_new.result().u)
+        assert h_old.result().model_name == h_new.result().model_name
 
-        assert set(batch) == set(handles)
-        for u, handle in handles.items():
-            assert np.allclose(batch[u].u, handle.result().u)
-            assert batch[u].model_name == handle.result().model_name
+    def test_spec_plus_positionals_rejected(self):
+        service = make_service()
+        spec = spec_for("u", make_model("m"))
+        with pytest.raises(AppVMError, match="JobSpec"):
+            service.submit(spec, make_model("m2"), "case")
+
+
+class TestRemovedAPI:
+    def test_run_batch_is_gone(self):
+        assert not hasattr(MachineService, "run_batch")
+
+    def test_solvejob_alias_is_gone(self):
+        assert not hasattr(appvm, "SolveJob")
+        from repro.appvm import service as service_mod
+        assert not hasattr(service_mod, "SolveJob")

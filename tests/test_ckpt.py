@@ -265,9 +265,12 @@ class TestServiceCheckpoint:
 
     def test_checkpoint_resume_identical_results(self):
         service = self.make_service()
-        h_alice = service.submit("alice", make_model("a"), "case", workers=2)
-        h_bob = service.submit("bob", make_model("b", load=-2e4), "case",
-                               workers=2)
+        from repro.appvm import JobSpec
+        h_alice = service.submit(JobSpec(user="alice", model=make_model("a"),
+                                         load_set="case", workers=2))
+        h_bob = service.submit(JobSpec(user="bob",
+                                       model=make_model("b", load=-2e4),
+                                       load_set="case", workers=2))
         blob = h_alice.checkpoint()  # JobHandle delegates to the service
 
         service.run()
@@ -284,7 +287,8 @@ class TestServiceCheckpoint:
         assert resumed.completed_batches == 1
 
     def test_detached_handle_cannot_checkpoint(self):
-        from repro.appvm import JobHandle
-        handle = JobHandle("u", make_model("m"), "case", 2)
+        from repro.appvm import JobHandle, JobSpec
+        handle = JobHandle(JobSpec(user="u", model=make_model("m"),
+                                   load_set="case", workers=2))
         with pytest.raises(AppVMError):
             handle.checkpoint()

@@ -10,6 +10,7 @@ import textwrap
 
 import pytest
 
+from repro.appvm import JobSpec
 from repro.errors import AppVMError
 from repro.lint import (
     Finding,
@@ -547,7 +548,8 @@ class TestSubmitGate:
         mod, _ = load_module(tmp_path, "racy_gate", RACY_MODULE)
         mod.register(svc.program)
         with pytest.raises(AppVMError, match="W1"):
-            svc.submit("alice", make_model(), "case", lint="error")
+            svc.submit(JobSpec(user="alice", model=make_model(),
+                               load_set="case", lint="error"))
         assert svc.program.now == 0
         assert svc.pending_count == 0
 
@@ -558,7 +560,8 @@ class TestSubmitGate:
         mod, _ = load_module(tmp_path, "racy_warn", RACY_MODULE)
         mod.register(svc.program)
         with pytest.warns(UserWarning, match="static analysis"):
-            handle = svc.submit("bob", make_model(), "case", lint="warn")
+            handle = svc.submit(JobSpec(user="bob", model=make_model(),
+                                        load_set="case", lint="warn"))
         assert svc.pending_count == 1
         svc.run()
         assert handle.result().max_displacement() > 0
@@ -567,7 +570,8 @@ class TestSubmitGate:
         from repro.appvm import MachineService
 
         with pytest.raises(AppVMError, match="lint must be one of"):
-            MachineService().submit("x", make_model(), "case", lint="loud")
+            JobSpec(user="x", model=make_model(), load_set="case",
+                    lint="loud")
 
     def test_default_is_off(self, tmp_path):
         """Existing callers are untouched: a racy registry does not block
@@ -577,14 +581,16 @@ class TestSubmitGate:
         svc = MachineService()
         mod, _ = load_module(tmp_path, "racy_off", RACY_MODULE)
         mod.register(svc.program)
-        handle = svc.submit("carol", make_model(), "case")
+        handle = svc.submit(JobSpec(user="carol", model=make_model(),
+                                    load_set="case"))
         assert svc.pending_count == 1
 
     def test_clean_program_passes_error_mode(self):
         from repro.appvm import MachineService
 
         svc = MachineService()
-        h = svc.submit("dave", make_model(), "case", lint="error")
+        h = svc.submit(JobSpec(user="dave", model=make_model(),
+                               load_set="case", lint="error"))
         svc.run()
         assert h.result().max_displacement() > 0
 
@@ -597,5 +603,49 @@ class TestSubmitGate:
         mod, _ = load_module(tmp_path, "racy_obs", RACY_MODULE)
         mod.register(svc.program)
         with pytest.raises(AppVMError):
-            svc.submit("eve", make_model(), "case", lint="error")
+            svc.submit(JobSpec(user="eve", model=make_model(),
+                               load_set="case", lint="error"))
         assert len(tracer.spans("lint.W1")) == 1
+
+
+class TestU1DeprecatedSubmit:
+    def lint(self, src):
+        from repro.lint import check_deprecated_api
+        import ast
+        return check_deprecated_api(ast.parse(textwrap.dedent(src)), "x.py")
+
+    def test_flat_positional_form_flagged(self):
+        (f,) = self.lint("""
+            def go(service, model):
+                service.submit("alice", model, "case")
+        """)
+        assert f.code == "U1" and f.severity == "warning"
+        assert "JobSpec" in f.message
+
+    def test_old_keywords_flagged(self):
+        (f,) = self.lint("""
+            def go(service, spec):
+                service.submit(spec, workers=4, lint="error")
+        """)
+        assert "workers" in f.message and "lint" in f.message
+
+    def test_string_first_arg_flagged(self):
+        assert len(self.lint("""
+            def go(service, model):
+                service.submit("bob", model=model, load_set="case")
+        """)) == 1
+
+    def test_jobspec_form_clean(self):
+        assert self.lint("""
+            def go(service, spec, specs):
+                service.submit(spec)
+                pool.submit(specs[0])
+                service.submit(make_spec(user="u"))
+        """) == []
+
+    def test_rides_lint_source(self):
+        report = lint_source(textwrap.dedent("""
+            def go(service, model):
+                service.submit("alice", model, "case", workers=2)
+        """))
+        assert [f.code for f in report.findings] == ["U1"]

@@ -249,7 +249,9 @@ class TestServiceProfile:
                           memory_words_per_cluster=16_000_000),
             tracer=tr,
         )
-        handle = service.submit("alice", make_model(), "case", workers=2)
+        from repro.appvm import JobSpec
+        handle = service.submit(JobSpec(user="alice", model=make_model(),
+                                        load_set="case", workers=2))
         assert handle.span is not None and handle.span.open
         service.run()
         assert handle.result().u is not None
@@ -283,7 +285,9 @@ class TestServiceProfile:
             MachineConfig(n_clusters=2, pes_per_cluster=3,
                           memory_words_per_cluster=16_000_000)
         )
-        handle = service.submit("bob", make_model("m"), "case")
+        from repro.appvm import JobSpec
+        handle = service.submit(JobSpec(user="bob", model=make_model("m"),
+                                        load_set="case"))
         assert handle.span is None
         service.run()
         assert handle.done
