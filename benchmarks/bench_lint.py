@@ -5,9 +5,13 @@ so its host-side cost is part of the service's submission latency.
 This benchmark lints the shipped ``src/`` and ``examples/`` trees
 (the same corpus the tier-1 gate checks) and reports files/second and
 tasks/second, plus a per-corpus breakdown — the number that must stay
-flat as the rule set grows.
+flat as the rule set grows.  Two further experiments cover the flow
+layer: LINT-FLOW times the interprocedural analysis (tasks/sec, routes
+extracted), and LINT-SOUND replays three traced workloads asserting
+every observed spawn/message edge was statically predicted.
 """
 
+import ast
 import pathlib
 import time
 
@@ -15,19 +19,26 @@ import pytest
 
 from conftest import run_once
 from repro.bench import Experiment
-from repro.lint import lint_paths
+from repro.hardware import MachineConfig
+from repro.langvm import Fem2Program, forall
+from repro.lint import LintCache, check_soundness, flow_summary, lint_paths
+from repro.lint.astutil import collect_tasks
+from repro.lint.cli import iter_py_files
+from repro.lint.flow import summarize
+from repro.lint.flow.checks import check_flow
+from repro.obs import Tracer
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
-def run_lint_corpus(paths, arch):
+def run_lint_corpus(paths, arch, cache=None):
     t0 = time.perf_counter()
-    report = lint_paths(paths, arch=arch)
+    report = lint_paths(paths, arch=arch, cache=cache)
     elapsed = time.perf_counter() - t0
     return report, elapsed
 
 
-def run_lint():
+def lint_experiment():
     exp = Experiment("LINT", "static analyzer throughput on the repo corpus")
     exp.set_headers("corpus", "files", "tasks", "errors", "warnings",
                     "host ms", "files/sec")
@@ -37,6 +48,7 @@ def run_lint():
         "src+examples": ([ROOT / "src", ROOT / "examples"], True),
     }
     data = {}
+    cache = LintCache()
     for name, (paths, arch) in corpora.items():
         report, elapsed = run_lint_corpus(paths, arch)
         data[name] = (report, elapsed)
@@ -46,9 +58,140 @@ def run_lint():
             round(1000.0 * elapsed, 1),
             round(report.files_checked / elapsed, 1) if elapsed > 0 else 0.0,
         )
+    # the incremental cache: a warm re-run of the big corpus
+    run_lint_corpus([ROOT / "src", ROOT / "examples"], True, cache=cache)
+    report, elapsed = run_lint_corpus([ROOT / "src", ROOT / "examples"],
+                                      True, cache=cache)
+    data["cached"] = (report, elapsed)
+    exp.add_row(
+        "src+examples (cached)", report.files_checked, report.tasks_checked,
+        len(report.errors), len(report.warnings),
+        round(1000.0 * elapsed, 1),
+        round(report.files_checked / elapsed, 1) if elapsed > 0 else 0.0,
+    )
     exp.note("host time, not simulated cycles: the linter runs before "
              "the machine, so its cost is submission latency")
+    exp.note(f"warm cache: {report.cache_hits}/{report.cache_hits + report.cache_misses} "
+             "file(s) served from the content-hash cache")
     return exp, data
+
+
+def flow_experiment():
+    """Flow-analysis throughput: interprocedural checks + route extraction."""
+    exp = Experiment("LINT-FLOW",
+                     "interprocedural flow analysis over the repo corpus")
+    exp.set_headers("corpus", "tasks", "routes", "msg routes", "windows",
+                    "host ms", "tasks/sec")
+    for name, paths in (("src", [ROOT / "src"]),
+                        ("src+examples+benchmarks",
+                         [ROOT / "src", ROOT / "examples",
+                          ROOT / "benchmarks"])):
+        tasks = []
+        for f in iter_py_files(paths):
+            try:
+                tree = ast.parse(f.read_text())
+            except (SyntaxError, ValueError):
+                continue
+            tasks.extend(collect_tasks(tree, str(f)))
+        t0 = time.perf_counter()
+        check_flow(tasks)
+        summary = summarize(tasks)
+        elapsed = time.perf_counter() - t0
+        exp.add_row(
+            name, len(tasks), len(summary.routes), len(summary.msg_routes),
+            len(summary.windows), round(1000.0 * elapsed, 1),
+            round(len(tasks) / elapsed, 1) if elapsed > 0 else 0.0,
+        )
+    exp.note("routes = static spawn edges in the fem2-flow/1 summary; "
+             "analysis time excludes parsing (covered by LINT)")
+    return exp
+
+
+def _small_config():
+    return MachineConfig(n_clusters=2, pes_per_cluster=5,
+                         memory_words_per_cluster=8_000_000)
+
+
+def _fanout_workload(tracer):
+    prog = Fem2Program(_small_config(), tracer=tracer)
+
+    @prog.task()
+    def tiny(ctx, index):
+        yield ctx.compute(cycles=100)
+        return index
+
+    @prog.task()
+    def root(ctx):
+        results = yield from forall(ctx, "tiny", n=8)
+        return len(results)
+
+    prog.run("root", cluster=0)
+    return prog
+
+
+def _broadcast_workload(tracer):
+    prog = Fem2Program(_small_config(), tracer=tracer)
+
+    @prog.task()
+    def listener(ctx, index):
+        value = yield ctx.receive()
+        return len(value)
+
+    @prog.task()
+    def driver(ctx):
+        tids = yield ctx.initiate("listener", count=6)
+        yield ctx.broadcast(tids, list(range(16)))
+        results = yield ctx.wait(tids)
+        return len(results)
+
+    prog.run("driver", cluster=0)
+    return prog
+
+
+def _cg_workload(tracer):
+    from repro.bench import plane_stress_cantilever
+    from repro.fem import parallel_cg_solve, partition_strips
+
+    problem = plane_stress_cantilever(6)
+    cfg = MachineConfig(n_clusters=4, pes_per_cluster=5,
+                        memory_words_per_cluster=32_000_000)
+    prog = Fem2Program(cfg, tracer=tracer)
+    subs = partition_strips(problem.mesh, 4)
+    parallel_cg_solve(prog, problem.mesh, problem.material,
+                      problem.constraints, problem.loads,
+                      subs=subs, tol=1e-8)
+    return prog
+
+
+def soundness_experiment():
+    """Observed-vs-predicted edge comparison on three traced workloads."""
+    exp = Experiment("LINT-SOUND",
+                     "trace soundness: observed edges vs static routes")
+    exp.set_headers("workload", "spawn edges", "msg edges", "unpredicted",
+                    "sound")
+    workloads = (
+        ("forall fanout (E5)", _fanout_workload),
+        ("broadcast (E11)", _broadcast_workload),
+        ("parallel CG (E3)", _cg_workload),
+    )
+    results = {}
+    for name, build in workloads:
+        tracer = Tracer()
+        prog = build(tracer)
+        result = check_soundness(flow_summary(prog), tracer)
+        results[name] = result
+        exp.add_row(name, result.spawn_edges, result.msg_edges,
+                    len(result.unpredicted), result.ok)
+    exp.note("sound = every spawn/message edge in the repro.obs trace "
+             "appears in the program's fem2-flow/1 static summary")
+    return exp, results
+
+
+def run_lint():
+    exp, data = lint_experiment()
+    flow_exp = flow_experiment()
+    sound_exp, sound = soundness_experiment()
+    return (exp, flow_exp, sound_exp), (data, sound)
 
 
 def bench_lint_throughput():
@@ -58,11 +201,16 @@ def bench_lint_throughput():
 
 
 def test_lint_throughput(benchmark, experiment_sink):
-    exp, data = run_once(benchmark, run_lint)
-    experiment_sink(exp)
+    exps, (data, sound) = run_once(benchmark, run_lint)
+    for exp in exps:
+        experiment_sink(exp)
     for name, (report, _elapsed) in data.items():
         assert report.clean, f"{name} corpus has findings: {report.render()}"
     report, _ = data["src+examples"]
     assert report.files_checked >= 100
     assert report.tasks_checked >= 30
+    cached, _ = data["cached"]
+    assert cached.cache_misses == 0
+    for name, result in sound.items():
+        assert result.ok, f"{name}: unpredicted edges {result.unpredicted}"
     assert bench_lint_throughput() > 0

@@ -39,7 +39,7 @@ from ...fem import (
 )
 from ...hardware.machine import MachineConfig
 from ...langvm import Fem2Program
-from ...lint import lint_program
+from ...lint import FLOW_SCHEMA, flow_summary, lint_program
 from ..model import AnalysisResult
 from .dispatch import FairShareQueue
 from .handle import JobHandle
@@ -360,14 +360,24 @@ class ServicePool:
     def _lint_gate(self, mode: str) -> None:
         """Run :func:`repro.lint.lint_program` over the task types
         registered on the pool's front machine (cached per registry
-        state) and enforce its findings before admission."""
+        state) and enforce its findings before admission.  The gate also
+        extracts the program's static route summary (``fem2-flow/1``)
+        and posts it on the tracer as a ``lint.flow`` point, so every
+        admitted job carries its predicted communication structure."""
         program = self.machines[0].program
         key = tuple(program.runtime.registry.types())
-        report = self._lint_cache.get(key)
-        if report is None:
-            report = lint_program(program)
-            self._lint_cache[key] = report
+        cached = self._lint_cache.get(key)
+        if cached is None:
+            cached = (lint_program(program), flow_summary(program))
+            self._lint_cache[key] = cached
+        report, flow = cached
         report.emit(program.runtime.obs, program.now)
+        tr = program.runtime.obs
+        if tr is not None and getattr(tr, "enabled", False):
+            tr.point("lint.flow", "static routes", program.now,
+                     schema=FLOW_SCHEMA, tasks=len(flow.tasks),
+                     routes=len(flow.routes),
+                     msg_routes=len(flow.msg_routes))
         if report.clean:
             return
         rendered = "; ".join(f.render() for f in report.findings)

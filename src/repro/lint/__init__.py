@@ -29,27 +29,39 @@ from typing import List
 
 from .api import check_package_api, check_public_api
 from .astutil import TaskInfo, analyze_task, collect_tasks
+from .cache import LintCache
 from .cli import lint_files, lint_paths, lint_source, main
 from .deprecated import check_deprecated_api
 from .findings import CODES, SCHEMA, Finding, LintReport
+from .flow import (
+    FLOW_SCHEMA,
+    FlowSummary,
+    SoundnessResult,
+    TaskGraph,
+    build_graph,
+    check_d2,
+    check_soundness,
+    check_w3,
+    check_x1,
+    observed_edges,
+    summarize,
+)
 from .layering import ALLOWED, check_layering, layering_violations
 from .program import check_d1, check_o1, check_tasks, check_w1, check_w2
 from .snapshots import check_snapshots
 from .spans import check_span_balance
 
 
-def lint_program(program) -> LintReport:
-    """Lint every task type registered on a built program.
+def registry_tasks(program) -> List[TaskInfo]:
+    """Extract a :class:`TaskInfo` per task type registered on a program.
 
-    Walks the program's :class:`~repro.sysvm.code.CodeRegistry`, recovers
-    each task body's source via :mod:`inspect`, and runs the program
-    checkers (W1/W2/D1/O1) over the resulting task set.  Bodies whose
+    Walks the program's :class:`~repro.sysvm.code.CodeRegistry` and
+    recovers each task body's source via :mod:`inspect`.  Bodies whose
     source cannot be recovered (built in a REPL, generated) are skipped
     — the run-time audit still covers them.
     """
     registry = program.runtime.registry
     tasks: List[TaskInfo] = []
-    files = set()
     for name in registry.types():
         body = registry.get(name).body
         try:
@@ -67,38 +79,65 @@ def lint_program(program) -> LintReport:
                 # snippet line k is file line start + k - 1 (the snippet
                 # begins at the decorator, which getsourcelines includes)
                 tasks.append(analyze_task(node, file, registered_name=name,
-                                          line_offset=start - 1))
-                files.add(file)
+                                          line_offset=start - 1,
+                                          registered=True))
                 break
+    return tasks
+
+
+def lint_program(program) -> LintReport:
+    """Lint every task type registered on a built program (the
+    :class:`~repro.appvm.JobSpec` admission gate's entry point)."""
+    tasks = registry_tasks(program)
+    files = {t.file for t in tasks}
     report = LintReport(files_checked=len(files), tasks_checked=len(tasks))
     report.extend(check_tasks(tasks))
     return report
 
 
+def flow_summary(program) -> FlowSummary:
+    """The ``fem2-flow/1`` summary for a built program's task set."""
+    return summarize(registry_tasks(program))
+
+
 __all__ = [
     "ALLOWED",
     "CODES",
+    "FLOW_SCHEMA",
     "SCHEMA",
     "Finding",
+    "FlowSummary",
+    "LintCache",
     "LintReport",
+    "SoundnessResult",
+    "TaskGraph",
     "TaskInfo",
     "analyze_task",
+    "build_graph",
     "check_d1",
+    "check_d2",
     "check_deprecated_api",
     "check_layering",
     "check_o1",
     "check_package_api",
     "check_public_api",
     "check_snapshots",
+    "check_soundness",
     "check_span_balance",
     "check_tasks",
     "check_w1",
     "check_w2",
+    "check_w3",
+    "check_x1",
     "collect_tasks",
+    "flow_summary",
     "layering_violations",
     "lint_files",
     "lint_paths",
     "lint_program",
     "lint_source",
     "main",
+    "observed_edges",
+    "registry_tasks",
+    "summarize",
 ]

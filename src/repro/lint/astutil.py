@@ -11,7 +11,13 @@ AST and summarizes every task function into a :class:`TaskInfo`:
 * which handles it creates locally (``ctx.create`` / ``ctx.zeros``),
 * every initiation site (``ctx.initiate``, ``forall``, ``pardo``,
   ``scatter_gather``) with replication and conditionality facts,
-* the ordered read/initiate/wait event stream used by the W2 checker.
+* the ordered event stream — reads, writes, waits, initiations,
+  computes, pauses/resumes, RPCs, sub-generator calls, and the local
+  bindings (aliases, tid-list merges, integer constants) that thread
+  them together,
+* the same events arranged as a :class:`Region` tree (sequences,
+  branches, loops) — the control-flow skeleton the
+  :mod:`repro.lint.flow` fixpoint engine interprets.
 
 Everything is deliberately conservative: only windows passed *by name*
 are tracked, so derived windows (``vec(...)``, ``w.split_rows(...)``)
@@ -23,7 +29,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:
@@ -105,6 +111,23 @@ def _contains_exit(node: ast.AST) -> bool:
     return any(isinstance(n, (ast.Return, ast.Raise)) for n in ast.walk(node))
 
 
+#: how a sub-generator call argument is summarized for interprocedural
+#: substitution: a bare name, a string literal, an int literal, or opaque
+ArgRef = Optional[Tuple[str, object]]  # ("name"|"str"|"int", value)
+
+
+def _arg_ref(node: ast.AST) -> ArgRef:
+    if isinstance(node, ast.Name):
+        return ("name", node.id)
+    s = literal_str(node)
+    if s is not None:
+        return ("str", s)
+    i = literal_int(node)
+    if i is not None:
+        return ("int", i)
+    return None
+
+
 @dataclass
 class InitiateSite:
     """One task-initiation point inside a task body."""
@@ -117,16 +140,59 @@ class InitiateSite:
     assigned: Tuple[str, ...]       # names bound to the returned tids
     discarded: bool                 # bare `yield ctx.initiate(...)` statement
     waits_inline: bool = False      # forall/pardo/... wait internally
+    task_type_name: Optional[str] = None  # bare-name task type (dynamic site)
+    count_name: Optional[str] = None      # bare-name replication count
 
 
 @dataclass
 class Event:
-    """One entry of the ordered event stream (for the W2 walk)."""
+    """One entry of the ordered event stream.
 
-    kind: str                       # "initiate" | "read" | "wait"
+    Kinds and their payloads:
+
+    ``read`` / ``write`` / ``accumulate``  window access, ``name``
+    ``initiate``       task initiation, ``site``
+    ``wait``           ``names`` = waited tid bindings (None = unknown)
+    ``compute``        ``value`` = literal cycles (or None), ``name`` =
+                       bare-name cycle count for constant propagation
+    ``pause`` / ``resume`` / ``broadcast`` / ``receive``  task control
+    ``rpc``            ``ctx.call``, ``name`` = literal service name
+    ``subcall``        ``yield from helper(ctx, ...)``: ``name`` =
+                       callee, ``args`` = :data:`ArgRef` tuple,
+                       ``names`` = assignment targets
+    ``assign``         ``names`` = targets, ``name`` = source binding
+    ``assign_empty``   ``names`` bound to a fresh empty collection
+    ``const``          ``names`` bound to literal int ``value``
+    ``augment``        ``names[0]`` merged with ``name`` (extend/append/
+                       ``+=``); ``name`` None = unknown source
+    ``clobber``        ``names`` re-bound to something untrackable
+    ``window``         ``names`` alias the array/window ``name``
+    """
+
+    kind: str
     line: int
-    name: Optional[str] = None      # window name for reads
+    name: Optional[str] = None
     site: Optional[InitiateSite] = None
+    names: Tuple[Optional[str], ...] = ()
+    value: Optional[int] = None
+    args: Tuple[ArgRef, ...] = ()
+
+
+@dataclass
+class Region:
+    """Control-flow skeleton of one task body.
+
+    ``seq``    children are Events and sub-Regions in program order
+    ``branch`` children are alternative Regions (if/else arms, except
+               handlers); exactly one executes
+    ``loop``   single child Region executed zero or more times
+    ``exits``  a seq that ends control flow (return/raise) — branch
+               joins exclude it
+    """
+
+    kind: str
+    children: List[Union[Event, "Region"]] = field(default_factory=list)
+    exits: bool = False
 
 
 @dataclass
@@ -138,6 +204,8 @@ class TaskInfo:
     file: str
     line: int
     params: Tuple[str, ...]         # parameters after ctx
+    registered: bool = False        # known to a CodeRegistry / @prog.task
+    invoked: bool = False           # name referenced outside registration
     plain_writes: Set[str] = field(default_factory=set)
     accumulates: Set[str] = field(default_factory=set)
     reads: Set[str] = field(default_factory=set)
@@ -145,6 +213,7 @@ class TaskInfo:
     local_uses: List[Tuple[int, str]] = field(default_factory=list)
     initiates: List[InitiateSite] = field(default_factory=list)
     events: List[Event] = field(default_factory=list)
+    body: Region = field(default_factory=lambda: Region("seq"))
     pardo_groups: List[Tuple[int, List[Tuple[Optional[str],
                                              Tuple[Optional[str], ...]]]]] = \
         field(default_factory=list)
@@ -159,67 +228,174 @@ class TaskInfo:
                 return p
         return None
 
+    def param_index(self, name: str) -> Optional[int]:
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
 
 #: sub-generator helpers that initiate replications and wait inline
 _FANOUT_HELPERS = ("forall", "pardo", "scatter_gather", "forall_windows",
                    "flat_reduce", "tree_reduce")
 
+#: list-mutation methods folded into the binding lattice
+_MERGE_METHODS = ("extend", "append")
+
 
 class _TaskVisitor:
-    """Single ordered walk over one task function's statements."""
+    """Single ordered walk over one task function's statements.
+
+    Builds the flat event list and the region tree in one pass — the
+    flat list is the pre-order flattening of the tree, so both views
+    agree on event order.
+    """
 
     def __init__(self, fn: ast.FunctionDef, info: TaskInfo, offset: int) -> None:
         self.fn = fn
         self.info = info
         self.offset = offset
         self.ctx = fn.args.args[0].arg
+        self._region_stack: List[Region] = []
 
     def line(self, node: ast.AST) -> int:
         return node.lineno + self.offset
 
+    def emit(self, event: Event) -> None:
+        self.info.events.append(event)
+        self._region_stack[-1].children.append(event)
+
     def run(self) -> None:
-        self._walk(self.fn.body, guarded=False, conditional=False)
+        self.info.body = self._walk(self.fn.body, guarded=False,
+                                    conditional=False)
         self._count_name_uses()
 
     # -- statement walk ----------------------------------------------------
 
     def _walk(self, stmts: Sequence[ast.stmt], guarded: bool,
-              conditional: bool) -> None:
-        for stmt in stmts:
-            self._statement(stmt, guarded or conditional)
-            if isinstance(stmt, (ast.If, ast.Try)) and _contains_exit(stmt):
-                # later siblings only run when this branch fell through
-                guarded = True
-            if isinstance(stmt, ast.If):
-                self._walk(stmt.body, guarded, True)
-                self._walk(stmt.orelse, guarded, True)
-            elif isinstance(stmt, (ast.For, ast.While)):
-                self._walk(stmt.body, guarded, conditional)
-                self._walk(stmt.orelse, guarded, True)
-            elif isinstance(stmt, ast.With):
-                self._walk(stmt.body, guarded, conditional)
-            elif isinstance(stmt, ast.Try):
-                self._walk(stmt.body, guarded, True)
-                for handler in stmt.handlers:
-                    self._walk(handler.body, guarded, True)
-                self._walk(stmt.orelse, guarded, True)
-                self._walk(stmt.finalbody, guarded, conditional)
+              conditional: bool) -> Region:
+        region = Region("seq")
+        self._region_stack.append(region)
+        try:
+            for stmt in stmts:
+                self._statement(stmt, guarded or conditional)
+                if isinstance(stmt, (ast.Return, ast.Raise)):
+                    region.exits = True
+                if isinstance(stmt, (ast.If, ast.Try)) and _contains_exit(stmt):
+                    # later siblings only run when this branch fell through
+                    guarded = True
+                if isinstance(stmt, ast.If):
+                    self._branch(
+                        [self._sub(stmt.body, guarded, True),
+                         self._sub(stmt.orelse, guarded, True)])
+                elif isinstance(stmt, ast.For):
+                    body = Region("loop")
+                    # `for t in tids:` binds t to elements of tids
+                    if isinstance(stmt.target, ast.Name) \
+                            and isinstance(stmt.iter, ast.Name):
+                        bind = Event("assign", self.line(stmt),
+                                     name=stmt.iter.id,
+                                     names=(stmt.target.id,))
+                        self.info.events.append(bind)
+                    else:
+                        bind = None
+                    inner = self._sub(stmt.body, guarded, conditional,
+                                      prepend=bind)
+                    body.children.append(inner)
+                    region.children.append(body)
+                    self._append_sub(stmt.orelse, guarded, True)
+                elif isinstance(stmt, ast.While):
+                    body = Region("loop")
+                    body.children.append(
+                        self._sub(stmt.body, guarded, conditional))
+                    region.children.append(body)
+                    self._append_sub(stmt.orelse, guarded, True)
+                elif isinstance(stmt, ast.With):
+                    self._append_sub(stmt.body, guarded, conditional)
+                elif isinstance(stmt, ast.Try):
+                    alts = [self._sub(stmt.body, guarded, True)]
+                    for handler in stmt.handlers:
+                        alts.append(self._sub(handler.body, guarded, True))
+                    alts.append(self._sub(stmt.orelse, guarded, True))
+                    self._branch(alts)
+                    self._append_sub(stmt.finalbody, guarded, conditional)
+        finally:
+            self._region_stack.pop()
+        return region
+
+    def _sub(self, stmts: Sequence[ast.stmt], guarded: bool,
+             conditional: bool, prepend: Optional[Event] = None) -> Region:
+        sub = self._walk(stmts, guarded, conditional)
+        if prepend is not None:
+            sub.children.insert(0, prepend)
+        return sub
+
+    def _append_sub(self, stmts: Sequence[ast.stmt], guarded: bool,
+                    conditional: bool) -> None:
+        if stmts:
+            self._region_stack[-1].children.append(
+                self._walk(stmts, guarded, conditional))
+
+    def _branch(self, alts: List[Region]) -> None:
+        alts = [a for a in alts]
+        if any(a.children or a.exits for a in alts):
+            self._region_stack[-1].children.append(Region("branch", alts))
 
     def _statement(self, stmt: ast.stmt, conditional: bool) -> None:
         if isinstance(stmt, ast.Expr):
+            if self._merge_method(stmt.value):
+                return
             self._expression(stmt.value, assigned=(), discarded=True,
                              conditional=conditional)
         elif isinstance(stmt, ast.Assign):
             names = self._target_names(stmt.targets)
-            self._expression(stmt.value, assigned=names, discarded=not names,
-                             conditional=conditional)
+            self._binding(stmt.value, names, conditional)
         elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
             names = self._target_names([stmt.target])
-            self._expression(stmt.value, assigned=names, discarded=not names,
-                             conditional=conditional)
+            self._binding(stmt.value, names, conditional)
+        elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            src = stmt.value.id if isinstance(stmt.value, ast.Name) else None
+            self.emit(Event("augment", self.line(stmt), name=src,
+                            names=(stmt.target.id,)))
         elif isinstance(stmt, ast.Return) and stmt.value is not None:
             self._expression(stmt.value, assigned=(), discarded=False,
                              conditional=conditional)
+
+    def _binding(self, value: ast.AST, names: Tuple[str, ...],
+                 conditional: bool) -> None:
+        """An assignment statement: route to the effect classifier and
+        record what the targets are now bound to."""
+        handled = self._expression(value, assigned=names,
+                                   discarded=not names,
+                                   conditional=conditional)
+        if handled or not names:
+            return
+        line = getattr(value, "lineno", 1) + self.offset
+        if isinstance(value, ast.Name):
+            self.emit(Event("assign", line, name=value.id, names=names))
+        elif isinstance(value, (ast.List, ast.Tuple)) and not value.elts:
+            self.emit(Event("assign_empty", line, names=names))
+        elif literal_int(value) is not None:
+            self.emit(Event("const", line, value=literal_int(value),
+                            names=names))
+        else:
+            self.emit(Event("clobber", line, names=names))
+
+    def _merge_method(self, value: ast.AST) -> bool:
+        """``tids.extend(got)`` / ``tids.append(t)`` fold into bindings."""
+        if not (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in _MERGE_METHODS
+                and isinstance(value.func.value, ast.Name)
+                and value.func.value.id != self.ctx):
+            return False
+        target = value.func.value.id
+        src = None
+        if value.args and isinstance(value.args[0], ast.Name):
+            src = value.args[0].id
+        self.emit(Event("augment", self.line(value), name=src,
+                        names=(target,)))
+        return True
 
     @staticmethod
     def _target_names(targets: Sequence[ast.AST]) -> Tuple[str, ...]:
@@ -234,12 +410,16 @@ class _TaskVisitor:
     # -- expression classification -----------------------------------------
 
     def _expression(self, value: ast.AST, assigned: Tuple[str, ...],
-                    discarded: bool, conditional: bool) -> None:
+                    discarded: bool, conditional: bool) -> bool:
+        """Classify one statement expression; True when it produced an
+        event that accounts for the bindings in *assigned*."""
         # unwrap `yield <call>` and `yield from <call>`
+        from_yield = False
         if isinstance(value, (ast.Yield, ast.YieldFrom)) and value.value is not None:
+            from_yield = isinstance(value, ast.YieldFrom)
             value = value.value
         if not isinstance(value, ast.Call):
-            return
+            return False
         call = value
         tail = call_tail(call)
         is_ctx = (
@@ -248,9 +428,15 @@ class _TaskVisitor:
             and call.func.value.id == self.ctx
         )
         if is_ctx:
-            self._ctx_call(call, tail, assigned, discarded, conditional)
-        elif tail in _FANOUT_HELPERS and self._first_arg_is_ctx(call):
-            self._helper_call(call, tail, conditional)
+            return self._ctx_call(call, tail, assigned, discarded, conditional)
+        if self._first_arg_is_ctx(call):
+            if tail in _FANOUT_HELPERS:
+                self._helper_call(call, tail, conditional)
+                return True
+            if from_yield and isinstance(call.func, ast.Name):
+                self._subgen_call(call, assigned)
+                return True
+        return False
 
     def _first_arg_is_ctx(self, call: ast.Call) -> bool:
         return bool(call.args) and isinstance(call.args[0], ast.Name) \
@@ -258,24 +444,61 @@ class _TaskVisitor:
 
     def _ctx_call(self, call: ast.Call, tail: Optional[str],
                   assigned: Tuple[str, ...], discarded: bool,
-                  conditional: bool) -> None:
+                  conditional: bool) -> bool:
         info, line = self.info, self.line(call)
         first = call.args[0] if call.args else None
         first_name = first.id if isinstance(first, ast.Name) else None
-        if tail == "write" and first_name:
-            info.plain_writes.add(first_name)
-        elif tail == "accumulate" and first_name:
-            info.accumulates.add(first_name)
-        elif tail == "read" and first_name:
-            info.reads.add(first_name)
-            info.events.append(Event("read", line, name=first_name))
+        if tail == "write":
+            if first_name:
+                info.plain_writes.add(first_name)
+            self.emit(Event("write", line, name=first_name))
+        elif tail == "accumulate":
+            if first_name:
+                info.accumulates.add(first_name)
+            self.emit(Event("accumulate", line, name=first_name))
+        elif tail == "read":
+            if first_name:
+                info.reads.add(first_name)
+            self.emit(Event("read", line, name=first_name))
         elif tail in ("create", "zeros"):
             info.created.update(assigned)
+            self.emit(Event("window", line, names=assigned))
+            return True
+        elif tail == "window" and first_name:
+            # ctx.window(h): the target names alias the handle
+            info.created.update(a for a in assigned if first_name in info.created)
+            self.emit(Event("window", line, name=first_name, names=assigned))
+            return True
         elif tail == "local" and first_name:
             info.local_uses.append((line, first_name))
-        elif tail in ("wait", "wait_pause"):
+        elif tail == "wait":
             info.waits += 1
-            info.events.append(Event("wait", line))
+            self.emit(Event("wait", line, names=self._wait_names(call)))
+            return True
+        elif tail == "wait_pause":
+            # orders the child's pre-pause writes before us, but the
+            # child keeps running — it must not count as a terminal wait
+            info.waits += 1
+            self.emit(Event("wait_pause", line, names=self._wait_names(call)))
+            return True
+        elif tail == "compute":
+            cyc = keyword_arg(call, "cycles")
+            self.emit(Event(
+                "compute", line,
+                value=literal_int(cyc) if cyc is not None else None,
+                name=cyc.id if isinstance(cyc, ast.Name) else None,
+            ))
+        elif tail == "pause":
+            self.emit(Event("pause", line))
+        elif tail == "resume":
+            self.emit(Event("resume", line))
+        elif tail == "broadcast":
+            self.emit(Event("broadcast", line))
+        elif tail == "receive":
+            self.emit(Event("receive", line))
+        elif tail == "call":
+            self.emit(Event("rpc", line,
+                            name=literal_str(first) if first is not None else None))
         elif tail == "initiate":
             count = keyword_arg(call, "count")
             count_val = literal_int(count) if count is not None else 1
@@ -291,16 +514,46 @@ class _TaskVisitor:
                 conditional=conditional,
                 assigned=assigned,
                 discarded=discarded,
+                task_type_name=first_name,
+                count_name=count.id if isinstance(count, ast.Name) else None,
             )
             info.initiates.append(site)
-            info.events.append(Event("initiate", line, site=site))
+            self.emit(Event("initiate", line, site=site, names=assigned))
+            return True
+        return False
+
+    @staticmethod
+    def _wait_names(call: ast.Call) -> Tuple[Optional[str], ...]:
+        """Bindings a wait covers; None entries mean "unknown" (the
+        happens-before engine then treats the wait as covering every
+        pending initiation — the conservative, no-false-positive read)."""
+        if not call.args:
+            return (None,)
+        arg = call.args[0]
+        if isinstance(arg, ast.Name):
+            return (arg.id,)
+        if isinstance(arg, (ast.List, ast.Tuple)):
+            return tuple(
+                e.id if isinstance(e, ast.Name) else None for e in arg.elts
+            ) or (None,)
+        return (None,)
+
+    def _subgen_call(self, call: ast.Call, assigned: Tuple[str, ...]) -> None:
+        """``yield from helper(ctx, ...)`` — an interprocedural edge."""
+        self.emit(Event(
+            "subcall", self.line(call),
+            name=call.func.id,
+            args=tuple(_arg_ref(a) for a in call.args[1:]),
+            names=assigned,
+        ))
 
     def _helper_call(self, call: ast.Call, tail: str, conditional: bool) -> None:
         """forall/pardo/scatter_gather: initiate-and-wait sub-generators."""
         info, line = self.info, self.line(call)
         if tail in ("forall", "flat_reduce", "tree_reduce"):
             # forall(ctx, "type", n=?, args=(...)): identical args fan out
-            task_type = literal_str(call.args[1]) if len(call.args) > 1 else None
+            type_node = call.args[1] if len(call.args) > 1 else None
+            task_type = literal_str(type_node) if type_node is not None else None
             n = keyword_arg(call, "n") or (call.args[2] if len(call.args) > 2 else None)
             n_val = literal_int(n) if n is not None else None
             args_kw = keyword_arg(call, "args") or \
@@ -316,10 +569,13 @@ class _TaskVisitor:
                 replicated=(n_val is None or n_val > 1),
                 conditional=conditional, assigned=(), discarded=False,
                 waits_inline=True,
+                task_type_name=type_node.id
+                if isinstance(type_node, ast.Name) else None,
+                count_name=n.id if isinstance(n, ast.Name) else None,
             )
             info.initiates.append(site)
-            info.events.append(Event("initiate", line, site=site))
-            info.events.append(Event("wait", line))
+            self.emit(Event("initiate", line, site=site))
+            self.emit(Event("wait", line, names=()))
         elif tail == "pardo":
             stmts: List[Tuple[Optional[str], Tuple[Optional[str], ...]]] = []
             for stmt in call.args[1:]:
@@ -332,10 +588,10 @@ class _TaskVisitor:
                         assigned=(), discarded=False, waits_inline=True,
                     )
                     info.initiates.append(site)
-                    info.events.append(Event("initiate", line, site=site))
+                    self.emit(Event("initiate", line, site=site))
             if stmts:
                 info.pardo_groups.append((line, stmts))
-            info.events.append(Event("wait", line))
+            self.emit(Event("wait", line, names=()))
         elif tail == "scatter_gather":
             # scatter_gather(ctx, "type", [(a,), (b,), ...])
             task_type = literal_str(call.args[1]) if len(call.args) > 1 else None
@@ -351,11 +607,11 @@ class _TaskVisitor:
                         )))
             if stmts:
                 info.pardo_groups.append((line, stmts))
-            info.events.append(Event("wait", line))
+            self.emit(Event("wait", line, names=()))
         elif tail == "forall_windows":
             # each replication receives its *own* sub-window: not a shared
             # write target, so no W1 site; it waits inline.
-            info.events.append(Event("wait", line))
+            self.emit(Event("wait", line, names=()))
 
     @staticmethod
     def _pardo_statement(stmt: ast.AST) \
@@ -382,7 +638,8 @@ class _TaskVisitor:
 
 
 def analyze_task(fn: ast.FunctionDef, file: str, registered_name: str,
-                 line_offset: int = 0) -> TaskInfo:
+                 line_offset: int = 0, registered: bool = False,
+                 invoked: bool = False) -> TaskInfo:
     """Summarize one task function into a :class:`TaskInfo`."""
     info = TaskInfo(
         name=registered_name,
@@ -390,6 +647,8 @@ def analyze_task(fn: ast.FunctionDef, file: str, registered_name: str,
         file=file,
         line=fn.lineno + line_offset,
         params=tuple(a.arg for a in fn.args.args[1:]),
+        registered=registered,
+        invoked=invoked,
     )
     _TaskVisitor(fn, info, line_offset).run()
     return info
@@ -416,13 +675,44 @@ def registered_names(tree: ast.Module) -> Dict[str, str]:
     return names
 
 
+def invoked_names(tree: ast.Module) -> Set[str]:
+    """Task names referenced as string literals outside registration.
+
+    A literal ``"job"`` in ``prog.run_all([("job", ...)])`` — or any
+    other non-registration reference — is evidence the task is an entry
+    invoked directly, so reachability checks (X1) must not call it
+    dead.  Each registration site (``@prog.task("job")``,
+    ``prog.define("job", f)``) cancels exactly one occurrence.
+    """
+    refs: Dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            refs[node.value] = refs.get(node.value, 0) + 1
+        elif isinstance(node, ast.FunctionDef):
+            for dec in node.decorator_list:
+                if isinstance(dec, ast.Call) and call_tail(dec) == "task" \
+                        and dec.args:
+                    s = literal_str(dec.args[0])
+                    if s:
+                        refs[s] = refs.get(s, 0) - 1
+        elif isinstance(node, ast.Call) and call_tail(node) == "define":
+            if node.args:
+                s = literal_str(node.args[0])
+                if s:
+                    refs[s] = refs.get(s, 0) - 1
+    return {name for name, count in refs.items() if count > 0}
+
+
 def collect_tasks(tree: ast.Module, file: str,
                   line_offset: int = 0) -> List[TaskInfo]:
     """Every task function in a module AST, summarized."""
     reg = registered_names(tree)
+    inv = invoked_names(tree)
     tasks: List[TaskInfo] = []
     for node in ast.walk(tree):
         if is_task_function(node):
             name = reg.get(node.name, node.name)
-            tasks.append(analyze_task(node, file, name, line_offset))
+            tasks.append(analyze_task(node, file, name, line_offset,
+                                      registered=node.name in reg,
+                                      invoked=name in inv or node.name in inv))
     return tasks

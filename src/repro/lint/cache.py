@@ -1,0 +1,94 @@
+"""Incremental lint cache, keyed by file content hash.
+
+Per-file work — parsing, task extraction, the per-file architecture
+checks — dominates a repo-wide lint run, and almost every file is
+unchanged between runs.  The cache stores, per (path, sha256 of
+content): the per-file findings and the extracted
+:class:`~repro.lint.astutil.TaskInfo` list, so an unchanged file costs
+one hash instead of one parse-and-walk.  Cross-file analysis (the
+program checkers resolve initiate targets across *all* linted files)
+always re-runs over the assembled task set — it is cheap relative to
+extraction and cannot be cached per file.
+
+Two tiers: an in-process dict (always on), plus an optional on-disk
+directory (one pickle per content hash) so consecutive CLI runs and CI
+jobs share work.  Disk entries are best-effort — unreadable or stale
+pickles are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .astutil import TaskInfo
+from .findings import Finding
+
+#: bump when the cached shape (TaskInfo fields, finding semantics) changes
+CACHE_VERSION = 1
+
+
+def content_digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8", "replace")).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """Everything per-file analysis produced for one file version."""
+
+    version: int
+    path: str
+    digest: str
+    findings: List[Finding]
+    tasks: List[TaskInfo]
+
+
+class LintCache:
+    """(path, content-hash) -> per-file analysis results."""
+
+    def __init__(self, directory: Optional[pathlib.Path] = None) -> None:
+        self.directory = pathlib.Path(directory) if directory else None
+        self._memory: Dict[Tuple[str, str], CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _disk_path(self, digest: str) -> Optional[pathlib.Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{digest}.lintcache"
+
+    def get(self, path: str, digest: str) -> Optional[CacheEntry]:
+        entry = self._memory.get((path, digest))
+        if entry is not None:
+            self.hits += 1
+            return entry
+        disk = self._disk_path(digest)
+        if disk is not None and disk.exists():
+            try:
+                entry = pickle.loads(disk.read_bytes())
+            except Exception:
+                entry = None
+            if (isinstance(entry, CacheEntry)
+                    and entry.version == CACHE_VERSION
+                    and entry.path == path and entry.digest == digest):
+                self._memory[(path, digest)] = entry
+                self.hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    def put(self, path: str, digest: str, findings: List[Finding],
+            tasks: List[TaskInfo]) -> None:
+        entry = CacheEntry(CACHE_VERSION, path, digest,
+                           list(findings), list(tasks))
+        self._memory[(path, digest)] = entry
+        disk = self._disk_path(digest)
+        if disk is not None:
+            try:
+                disk.parent.mkdir(parents=True, exist_ok=True)
+                disk.write_bytes(pickle.dumps(entry))
+            except OSError:
+                pass  # a read-only checkout still gets the memory tier

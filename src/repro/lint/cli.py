@@ -30,6 +30,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from .api import check_public_api
 from .astutil import TaskInfo, collect_tasks
+from .cache import LintCache, content_digest
 from .deprecated import check_deprecated_api
 from .findings import Finding, LintReport
 from .layering import check_layering
@@ -71,25 +72,53 @@ def find_repro_roots(paths: Sequence[pathlib.Path]) -> List[pathlib.Path]:
     return roots
 
 
+def _analyze_file(f: pathlib.Path, source: str):
+    """Per-file analysis: (findings, tasks) — the cacheable unit."""
+    findings: List[Finding] = []
+    tasks: List[TaskInfo] = []
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError) as exc:
+        lineno = getattr(exc, "lineno", 1) or 1
+        findings.append(Finding("E0", f"cannot parse: {exc}", str(f), lineno))
+        return findings, tasks
+    tasks = collect_tasks(tree, str(f))
+    findings.extend(check_span_balance(tree, str(f)))
+    findings.extend(check_snapshots(tree, str(f)))
+    findings.extend(check_deprecated_api(tree, str(f)))
+    if f.name == "__init__.py":
+        findings.extend(check_public_api(tree, str(f)))
+    return findings, tasks
+
+
 def lint_files(files: Sequence[pathlib.Path],
-               report: Optional[LintReport] = None) -> LintReport:
-    """Program + per-file architecture checks over a set of files."""
+               report: Optional[LintReport] = None,
+               cache: Optional[LintCache] = None) -> LintReport:
+    """Program + per-file architecture checks over a set of files.
+
+    With a :class:`~repro.lint.cache.LintCache`, unchanged files reuse
+    their per-file findings and extracted tasks; the cross-file program
+    checks always re-run over the assembled task set.
+    """
     report = report or LintReport()
     tasks: List[TaskInfo] = []
     findings: List[Finding] = []
     for f in files:
-        try:
-            tree = ast.parse(f.read_text())
-        except (SyntaxError, ValueError) as exc:
-            lineno = getattr(exc, "lineno", 1) or 1
-            findings.append(Finding("E0", f"cannot parse: {exc}", str(f), lineno))
-            continue
-        tasks.extend(collect_tasks(tree, str(f)))
-        findings.extend(check_span_balance(tree, str(f)))
-        findings.extend(check_snapshots(tree, str(f)))
-        findings.extend(check_deprecated_api(tree, str(f)))
-        if f.name == "__init__.py":
-            findings.extend(check_public_api(tree, str(f)))
+        source = f.read_text()
+        if cache is not None:
+            digest = content_digest(source)
+            entry = cache.get(str(f), digest)
+            if entry is None:
+                file_findings, file_tasks = _analyze_file(f, source)
+                cache.put(str(f), digest, file_findings, file_tasks)
+                report.cache_misses += 1
+            else:
+                file_findings, file_tasks = entry.findings, entry.tasks
+                report.cache_hits += 1
+        else:
+            file_findings, file_tasks = _analyze_file(f, source)
+        findings.extend(file_findings)
+        tasks.extend(file_tasks)
         report.files_checked += 1
     findings.extend(check_tasks(tasks))
     report.tasks_checked += len(tasks)
@@ -97,10 +126,11 @@ def lint_files(files: Sequence[pathlib.Path],
     return report
 
 
-def lint_paths(paths: Iterable, arch: bool = True) -> LintReport:
+def lint_paths(paths: Iterable, arch: bool = True,
+               cache: Optional[LintCache] = None) -> LintReport:
     """Lint files and (when a repro root is present) the architecture."""
     paths = [pathlib.Path(p) for p in paths]
-    report = lint_files(iter_py_files(paths))
+    report = lint_files(iter_py_files(paths), cache=cache)
     if arch:
         for root in find_repro_roots(paths):
             report.extend(check_layering(root))
@@ -149,10 +179,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     help="exit non-zero on warnings too")
     ap.add_argument("--no-arch", action="store_true",
                     help="skip the architecture checkers (A1 layering)")
+    ap.add_argument("--cache", action="store_true",
+                    help="reuse per-file results for unchanged files "
+                         "(stored under --cache-dir)")
+    ap.add_argument("--cache-dir", type=pathlib.Path,
+                    default=pathlib.Path(".lint-cache"),
+                    help="directory for the incremental cache "
+                         "(default: ./.lint-cache)")
     args = ap.parse_args(argv)
 
     paths = args.paths or _default_paths()
-    report = lint_paths(paths, arch=not args.no_arch)
+    cache = LintCache(args.cache_dir) if args.cache else None
+    report = lint_paths(paths, arch=not args.no_arch, cache=cache)
     if args.json:
         print(json.dumps(report.to_record(), indent=2))
     else:

@@ -23,13 +23,16 @@ CODES: Dict[str, str] = {
     "E0": "file could not be parsed",
     "W1": "overlapping plain-write window regions across parallel siblings",
     "W2": "read of a region written by a still-unwaited parallel task",
+    "W3": "write-write conflict across a spawn chain (transitive writes)",
     "D1": "initiate without matching wait, or unconditional wait cycle",
+    "D2": "wait on a provably empty or already-waited task id set",
     "O1": "raw storage access outside the owning task (ownership escape)",
     "A1": "layering violation: a lower layer imports a higher one",
     "A2": "obs_begin without obs_end on some code path",
     "A3": "public-API drift: __all__ name does not resolve",
     "S1": "incomplete snapshot/restore pair (checkpoint contract)",
     "U1": "deprecated submit(user, model, load_set) form; use JobSpec",
+    "X1": "task registered but unreachable from any entry task",
 }
 
 SEVERITIES = ("error", "warning")
@@ -78,14 +81,27 @@ class LintReport:
 
     def __init__(self, findings: Optional[List[Finding]] = None,
                  files_checked: int = 0, tasks_checked: int = 0) -> None:
-        self.findings: List[Finding] = list(findings or [])
+        self.findings: List[Finding] = []
+        self._seen: set = set()
         self.files_checked = files_checked
         self.tasks_checked = tasks_checked
+        self.cache_hits = 0
+        self.cache_misses = 0
+        if findings:
+            self.extend(findings)
 
     # -- aggregation -------------------------------------------------------
 
     def extend(self, findings: List[Finding]) -> None:
-        self.findings.extend(findings)
+        """Add findings, dropping exact duplicates (the same file can be
+        reachable from several lint roots; diff-stable output needs one
+        copy)."""
+        for f in findings:
+            key = (f.code, f.file, f.line, f.task, f.message)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self.findings.append(f)
 
     @property
     def errors(self) -> List[Finding]:
@@ -113,15 +129,23 @@ class LintReport:
 
     # -- export ------------------------------------------------------------
 
+    def sorted_findings(self) -> List[Finding]:
+        """Findings in the canonical (file, line, code) order."""
+        return sorted(self.findings, key=lambda f: (f.file, f.line, f.code))
+
     def to_record(self) -> Dict[str, Any]:
         """The whole report as one plain dict (schema ``fem2-lint/1``)."""
-        return {
+        record = {
             "schema": SCHEMA,
             "files_checked": self.files_checked,
             "tasks_checked": self.tasks_checked,
             "counts": self.by_code(),
-            "findings": [f.to_record() for f in self.findings],
+            "findings": [f.to_record() for f in self.sorted_findings()],
         }
+        if self.cache_hits or self.cache_misses:
+            record["cache"] = {"hits": self.cache_hits,
+                               "misses": self.cache_misses}
+        return record
 
     def emit(self, tracer, now: int = 0) -> None:
         """Post every finding as a ``lint.<code>`` point span on *tracer*,
@@ -135,13 +159,18 @@ class LintReport:
             )
 
     def render(self) -> str:
-        lines = [f.render() for f in sorted(
-            self.findings, key=lambda f: (f.file, f.line, f.code))]
-        lines.append(
+        lines = [f.render() for f in self.sorted_findings()]
+        summary = (
             f"repro.lint: {self.files_checked} file(s), "
             f"{self.tasks_checked} task(s), "
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
         )
+        probed = self.cache_hits + self.cache_misses
+        if probed:
+            rate = 100.0 * self.cache_hits / probed
+            summary += (f", cache {self.cache_hits}/{probed} hit(s) "
+                        f"({rate:.0f}%)")
+        lines.append(summary)
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -15,6 +15,15 @@ W1  Replicated initiations (``forall``, ``ctx.initiate(count=n)``) hand
 
 W2  Reading a window that an initiated-but-unwaited task plain-writes
     is a read-write race: the writer may run before or after the read.
+    Implemented on the :mod:`repro.lint.flow` happens-before engine: a
+    ``wait`` that provably covers the writing site discharges it (no
+    false positive), and writes performed by tasks the target spawns
+    count too.
+
+W3/D2/X1 (see :mod:`repro.lint.flow.checks`): write-write conflicts
+    across spawn chains, waits that can never match, and registered
+    tasks unreachable from any entry task — the interprocedural rules
+    the flow engine makes possible.
 
 D1  An ``initiate`` whose task ids are discarded (or bound to a name
     that is never used again) has no matching ``wait`` — its results
@@ -118,28 +127,10 @@ def _pair_conflict(type_a: Optional[str], args_a: Tuple[Optional[str], ...],
 
 def check_w2(tasks: List[TaskInfo],
              index: Optional[Dict[str, TaskInfo]] = None) -> List[Finding]:
-    index = index if index is not None else _task_index(tasks)
-    findings: List[Finding] = []
-    for t in tasks:
-        dirty: Dict[str, str] = {}  # window name -> writing task type
-        for event in t.events:
-            if event.kind == "initiate" and event.site is not None:
-                if event.site.waits_inline:
-                    continue
-                for arg, _param in _written_shared_args(event.site, index):
-                    dirty[arg] = event.site.task_type or "?"
-            elif event.kind == "wait":
-                dirty.clear()
-            elif event.kind == "read" and event.name in dirty:
-                findings.append(Finding(
-                    "W2",
-                    f"reads window {event.name!r} while initiated task "
-                    f"{dirty[event.name]!r} (which plain-writes it) has not "
-                    f"been waited for",
-                    t.file, event.line, task=t.name,
-                ))
-                del dirty[event.name]
-    return findings
+    """Happens-before W2 (delegates to the flow engine)."""
+    from .flow.checks import check_w2_flow
+    return check_w2_flow(tasks, index if index is not None
+                         else _task_index(tasks))
 
 
 # -- D1: initiate without wait / unconditional initiate cycles ----------------
@@ -239,10 +230,11 @@ def check_o1(tasks: List[TaskInfo]) -> List[Finding]:
 
 def check_tasks(tasks: List[TaskInfo]) -> List[Finding]:
     """Run every program checker over one resolved task set."""
+    from .flow.checks import check_flow
     index = _task_index(tasks)
     findings: List[Finding] = []
     findings.extend(check_w1(tasks, index))
-    findings.extend(check_w2(tasks, index))
+    findings.extend(check_flow(tasks, index))  # W2 / W3 / D2 / X1
     findings.extend(check_d1(tasks, index))
     findings.extend(check_o1(tasks))
     return findings

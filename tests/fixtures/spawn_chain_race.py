@@ -1,0 +1,34 @@
+"""Seeded spawn-chain write-write race — invisible to W1/W2, caught by W3.
+
+``root`` initiates ``stamp`` (a direct plain-writer of window ``w``) and
+``relay`` (which spawns *another* ``stamp`` on the same window) before
+waiting for either.  The two writers are concurrent only transitively —
+no single initiate is replicated, so sibling-local W1 never fires, and
+nothing reads the window while a writer is pending, so W2 never fires.
+Only the interprocedural happens-before engine, which propagates
+``relay``'s child writes through its spawn summary, sees the conflict.
+
+This file is a lint fixture: it is analyzed, never executed.
+"""
+
+import numpy as np
+
+
+def stamp(ctx, w):
+    yield ctx.compute(cycles=50)
+    yield ctx.write(w, np.ones(8))
+
+
+def relay(ctx, w):
+    t = yield ctx.initiate("stamp", w)
+    yield ctx.wait(t)
+
+
+def root(ctx):
+    a = yield ctx.create(np.zeros(8))
+    w = ctx.window(a)
+    first = yield ctx.initiate("stamp", w)
+    second = yield ctx.initiate("relay", w)
+    yield ctx.wait((first, second))
+    vals = yield ctx.read(w)
+    return float(vals.sum())

@@ -1,0 +1,547 @@
+"""Tests for repro.lint.flow: the task-interaction IR, interprocedural
+summaries, the happens-before rules (W2/W3/D2/X1), FlowSummary route
+extraction and its codec, trace soundness against the repro.obs tracer
+on three bench-style workloads, the golden ``--json`` fixture, and the
+incremental lint cache."""
+
+import ast
+import json
+import os
+import pathlib
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.bench import plane_stress_cantilever
+from repro.fem import parallel_cg_solve, partition_strips
+from repro.hardware import MachineConfig
+from repro.langvm import Fem2Program, forall
+from repro.lint import (
+    FLOW_SCHEMA,
+    FlowSummary,
+    check_soundness,
+    flow_summary,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.astutil import collect_tasks
+from repro.lint.cache import LintCache, content_digest
+from repro.lint.cli import lint_files, main as lint_main
+from repro.lint.flow import build_graph, summarize
+from repro.lint.flow.dataflow import summarize_tasks
+from repro.lint.program import check_w1
+from repro.obs import Tracer
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+RACE_FIXTURE = FIXTURES / "spawn_chain_race.py"
+GOLDEN = FIXTURES / "lint_golden.json"
+
+
+def tasks_of(source):
+    return collect_tasks(ast.parse(textwrap.dedent(source)), "<test>")
+
+
+def codes(report):
+    return sorted(f.code for f in report.findings)
+
+
+def small_config():
+    return MachineConfig(n_clusters=2, pes_per_cluster=5,
+                         memory_words_per_cluster=8_000_000)
+
+
+# -- the IR -------------------------------------------------------------------
+
+
+class TestTaskGraph:
+    SOURCE = """
+        def worker(ctx, w):
+            vals = yield ctx.read(w)
+            yield ctx.write(w, vals)
+
+        def root(ctx, w):
+            t = yield ctx.initiate("worker", w)
+            yield ctx.wait(t)
+    """
+
+    def test_nodes_for_tasks_sites_windows(self):
+        graph = build_graph(tasks_of(self.SOURCE))
+        kinds = {n.kind for n in graph.nodes.values()}
+        assert {"task", "site", "window"} <= kinds
+        assert "task:worker" in graph.nodes
+        assert "task:root" in graph.nodes
+        assert "win:worker:w" in graph.nodes
+
+    def test_spawn_and_access_edges(self):
+        graph = build_graph(tasks_of(self.SOURCE))
+        spawns = graph.out_edges("task:root", "spawn")
+        assert len(spawns) == 1
+        site_key = spawns[0].dst
+        assert graph.out_edges(site_key, "spawn")[0].dst == "task:worker"
+        access = {e.kind for e in graph.out_edges("task:worker")}
+        assert {"read", "write"} <= access
+
+    def test_wait_edge_recorded(self):
+        graph = build_graph(tasks_of(self.SOURCE))
+        assert graph.out_edges("task:root", "wait")
+
+
+# -- interprocedural summaries ------------------------------------------------
+
+
+class TestSummaries:
+    def test_child_writes_propagate_through_spawn_chain(self):
+        tasks = tasks_of("""
+            def leaf(ctx, w):
+                yield ctx.write(w, data)
+
+            def mid(ctx, w):
+                t = yield ctx.initiate("leaf", w)
+                yield ctx.wait(t)
+
+            def top(ctx, w):
+                t = yield ctx.initiate("mid", w)
+                yield ctx.wait(t)
+        """)
+        summaries = summarize_tasks(tasks)
+        by_name = {t.name: summaries.of_task(t) for t in tasks}
+        assert 0 in by_name["leaf"].writes_params
+        assert 0 in by_name["mid"].child_writes_params
+        # two hops: top's child (mid) transitively writes parameter 0
+        assert 0 in by_name["top"].child_writes_params
+
+    def test_spawn_items_literal_param_dynamic(self):
+        tasks = tasks_of("""
+            def trampoline(ctx, kind):
+                yield ctx.initiate(kind, count=1)
+
+            def root(ctx, factory):
+                yield ctx.initiate("trampoline", "leaf", count=1)
+                yield ctx.initiate(factory(), count=1)
+        """)
+        summaries = summarize_tasks(tasks)
+        root = next(t for t in tasks if t.name == "root")
+        items = summaries.of_task(root).spawns
+        assert ("lit", "trampoline") in items
+        assert ("dyn",) in items
+
+
+# -- W3: write-write across a spawn chain -------------------------------------
+
+
+class TestW3:
+    def test_seeded_fixture_flagged_by_w3_only(self):
+        """The acceptance fixture: invisible to W1/W2, caught by W3."""
+        report = lint_paths([RACE_FIXTURE], arch=False)
+        assert codes(report) == ["W3"]
+        (f,) = report.findings
+        assert f.severity == "error"
+        assert f.task == "root"
+        assert "spawn chain" in f.message
+        # and the sibling-local checker really is blind to it
+        tasks = collect_tasks(ast.parse(RACE_FIXTURE.read_text()),
+                              str(RACE_FIXTURE))
+        assert check_w1(tasks) == []
+
+    def test_replicated_spawn_chain_write(self):
+        report = lint_source(textwrap.dedent("""
+            def leaf(ctx, w):
+                yield ctx.write(w, data)
+
+            def mid(ctx, w):
+                t = yield ctx.initiate("leaf", w)
+                yield ctx.wait(t)
+
+            def root(ctx, w, n):
+                tids = yield ctx.initiate("mid", w, count=n)
+                yield ctx.wait(tids)
+        """))
+        assert "W3" in codes(report)
+
+    def test_own_write_vs_pending_writer(self):
+        report = lint_source(textwrap.dedent("""
+            def leaf(ctx, w):
+                yield ctx.write(w, data)
+
+            def root(ctx, w):
+                t = yield ctx.initiate("leaf", w)
+                yield ctx.write(w, other)
+                yield ctx.wait(t)
+        """))
+        assert "W3" in codes(report)
+
+    def test_wait_between_writers_is_clean(self):
+        report = lint_source(textwrap.dedent("""
+            def leaf(ctx, w):
+                yield ctx.write(w, data)
+
+            def root(ctx, w):
+                a = yield ctx.initiate("leaf", w)
+                yield ctx.wait(a)
+                b = yield ctx.initiate("leaf", w)
+                yield ctx.wait(b)
+        """))
+        assert report.clean
+
+    def test_accumulating_chain_is_exempt(self):
+        report = lint_source(textwrap.dedent("""
+            def leaf(ctx, w):
+                yield ctx.accumulate(w, data)
+
+            def mid(ctx, w):
+                t = yield ctx.initiate("leaf", w)
+                yield ctx.wait(t)
+
+            def root(ctx, w):
+                a = yield ctx.initiate("leaf", w)
+                b = yield ctx.initiate("mid", w)
+                yield ctx.wait((a, b))
+        """))
+        assert report.clean
+
+
+# -- W2 on happens-before -----------------------------------------------------
+
+
+class TestW2HappensBefore:
+    def test_wait_orders_read_after_write(self):
+        """The motivating false positive: wait discharges the writer."""
+        report = lint_source(textwrap.dedent("""
+            def writer(ctx, w):
+                yield ctx.write(w, data)
+
+            def root(ctx, w):
+                t = yield ctx.initiate("writer", w)
+                yield ctx.wait(t)
+                vals = yield ctx.read(w)
+                return vals
+        """))
+        assert report.clean
+
+    def test_unwaited_read_still_flagged(self):
+        report = lint_source(textwrap.dedent("""
+            def writer(ctx, w):
+                yield ctx.write(w, data)
+
+            def root(ctx, w):
+                t = yield ctx.initiate("writer", w)
+                vals = yield ctx.read(w)
+                yield ctx.wait(t)
+                return vals
+        """))
+        assert "W2" in codes(report)
+
+    def test_transitive_writer_flagged(self):
+        report = lint_source(textwrap.dedent("""
+            def leaf(ctx, w):
+                yield ctx.write(w, data)
+
+            def mid(ctx, w):
+                t = yield ctx.initiate("leaf", w)
+                yield ctx.wait(t)
+
+            def root(ctx, w):
+                t = yield ctx.initiate("mid", w)
+                vals = yield ctx.read(w)
+                yield ctx.wait(t)
+                return vals
+        """))
+        assert "W2" in codes(report)
+        w2 = next(f for f in report.findings if f.code == "W2")
+        assert "spawns" in w2.message
+
+
+# -- D2: provably wrong waits -------------------------------------------------
+
+
+class TestD2:
+    def test_wait_on_empty_set(self):
+        report = lint_source(textwrap.dedent("""
+            def root(ctx):
+                tids = []
+                yield ctx.wait(tids)
+        """))
+        assert "D2" in codes(report)
+        d2 = next(f for f in report.findings if f.code == "D2")
+        assert d2.severity == "warning"
+
+    def test_rewait_flagged(self):
+        report = lint_source(textwrap.dedent("""
+            def leaf(ctx):
+                yield ctx.compute(cycles=1)
+
+            def root(ctx):
+                t = yield ctx.initiate("leaf", count=1)
+                yield ctx.wait(t)
+                yield ctx.wait(t)
+        """))
+        assert "D2" in codes(report)
+
+    def test_per_iteration_wait_loop_is_clean(self):
+        """Waiting each tid inside a loop must not look like a re-wait."""
+        report = lint_source(textwrap.dedent("""
+            def leaf(ctx):
+                yield ctx.compute(cycles=1)
+
+            def root(ctx, n):
+                tids = yield ctx.initiate("leaf", count=n)
+                for t in tids:
+                    yield ctx.wait(t)
+        """))
+        assert "D2" not in codes(report)
+
+    def test_wait_pause_then_wait_is_clean(self):
+        """wait_pause discharges writers but does not consume the wait."""
+        report = lint_source(textwrap.dedent("""
+            def leaf(ctx):
+                yield ctx.pause()
+                yield ctx.compute(cycles=1)
+
+            def root(ctx):
+                t = yield ctx.initiate("leaf", count=1)
+                yield ctx.wait_pause(t)
+                yield ctx.resume(t)
+                yield ctx.wait(t)
+        """))
+        assert "D2" not in codes(report)
+
+
+# -- X1: registered but unreachable -------------------------------------------
+
+
+class TestX1:
+    def test_unreachable_registered_task(self):
+        report = lint_source(textwrap.dedent("""
+            @prog.task()
+            def orphan(ctx):
+                yield ctx.compute(cycles=1)
+
+            @prog.task()
+            def worker(ctx):
+                yield ctx.compute(cycles=1)
+
+            @prog.task()
+            def root(ctx):
+                t = yield ctx.initiate("worker", count=1)
+                yield ctx.wait(t)
+        """))
+        assert "X1" in codes(report)
+        x1 = next(f for f in report.findings if f.code == "X1")
+        assert x1.severity == "warning"
+        assert x1.task == "orphan"
+
+    def test_dynamic_spawn_suppresses_x1(self):
+        """One non-literal target makes reachability unknowable."""
+        report = lint_source(textwrap.dedent("""
+            @prog.task()
+            def orphan(ctx):
+                yield ctx.compute(cycles=1)
+
+            @prog.task()
+            def root(ctx, kind):
+                t = yield ctx.initiate(kind, count=1)
+                yield ctx.wait(t)
+        """))
+        assert "X1" not in codes(report)
+
+    def test_unregistered_helpers_never_flagged(self):
+        report = lint_source(textwrap.dedent("""
+            def helper(ctx):
+                yield ctx.compute(cycles=1)
+
+            def root(ctx):
+                yield ctx.compute(cycles=1)
+        """))
+        assert "X1" not in codes(report)
+
+
+# -- FlowSummary + codec ------------------------------------------------------
+
+
+class TestFlowSummary:
+    SOURCE = """
+        def worker(ctx, w, index):
+            vals = yield ctx.read(w)
+            yield ctx.compute(cycles=100)
+            yield ctx.accumulate(w, vals)
+
+        def root(ctx, w):
+            tids = yield ctx.initiate("worker", w, count=4)
+            yield ctx.wait(tids)
+    """
+
+    def test_routes_and_windows(self):
+        summary = summarize(tasks_of(self.SOURCE))
+        assert ("root", "worker") in summary.spawn_edges()
+        route = next(r for r in summary.routes if r["dst"] == "worker")
+        assert route["replicated"] is True
+        assert summary.entries == ["root"]
+        win = next(w for w in summary.windows if w["task"] == "worker")
+        assert "worker" in win["readers"]
+        assert "worker" in win["accumulators"]
+
+    def test_burst_chains(self):
+        summary = summarize(tasks_of(self.SOURCE))
+        burst = next(b for b in summary.bursts if b["task"] == "worker")
+        assert burst["length"] >= 2
+        assert burst["cycles"] == 100
+
+    def test_codec_round_trip(self):
+        summary = summarize(tasks_of(self.SOURCE))
+        record = summary.to_record()
+        assert record["schema"] == FLOW_SCHEMA
+        again = FlowSummary.from_record(record)
+        assert again.to_record() == record
+
+    def test_codec_rejects_wrong_schema(self):
+        record = summarize(tasks_of(self.SOURCE)).to_record()
+        record["schema"] = "fem2-flow/99"
+        with pytest.raises(ValueError):
+            FlowSummary.from_record(record)
+
+    def test_record_is_json_serializable(self):
+        record = summarize(tasks_of(self.SOURCE)).to_record()
+        assert json.loads(json.dumps(record)) == record
+
+
+# -- soundness: observed trace edges are statically predicted -----------------
+
+
+class TestSoundness:
+    """The acceptance criterion: every traced spawn/message edge on
+    three bench-style workloads appears in the static FlowSummary."""
+
+    def test_forall_fanout_workload(self):
+        tracer = Tracer()
+        prog = Fem2Program(small_config(), tracer=tracer)
+
+        @prog.task()
+        def tiny(ctx, index):
+            yield ctx.compute(cycles=100)
+            return index
+
+        @prog.task()
+        def root(ctx):
+            results = yield from forall(ctx, "tiny", n=8)
+            return len(results)
+
+        assert prog.run("root", cluster=0) == 8
+        result = check_soundness(flow_summary(prog), tracer)
+        assert result.ok, result.unpredicted
+        assert result.checked > 0
+
+    def test_broadcast_workload(self):
+        tracer = Tracer()
+        prog = Fem2Program(small_config(), tracer=tracer)
+
+        @prog.task()
+        def listener(ctx, index):
+            value = yield ctx.receive()
+            return len(value)
+
+        @prog.task()
+        def driver(ctx):
+            tids = yield ctx.initiate("listener", count=6)
+            yield ctx.broadcast(tids, list(range(16)))
+            results = yield ctx.wait(tids)
+            return len(results)
+
+        assert prog.run("driver", cluster=0) == 6
+        result = check_soundness(flow_summary(prog), tracer)
+        assert result.ok, result.unpredicted
+        assert result.msg_edges > 0
+
+    def test_parallel_cg_workload(self):
+        problem = plane_stress_cantilever(6)
+        cfg = MachineConfig(n_clusters=4, pes_per_cluster=5,
+                            memory_words_per_cluster=32_000_000)
+        tracer = Tracer()
+        prog = Fem2Program(cfg, tracer=tracer)
+        subs = partition_strips(problem.mesh, 4)
+        parallel_cg_solve(prog, problem.mesh, problem.material,
+                          problem.constraints, problem.loads,
+                          subs=subs, tol=1e-8)
+        summary = flow_summary(prog)
+        # the CG root fans out through a closure-bound worker name:
+        # statically a wildcard route, which must still cover the trace
+        assert summary.wildcard_sources()
+        result = check_soundness(summary, tracer)
+        assert result.ok, result.unpredicted
+        assert result.checked > 0
+
+
+# -- golden --json fixture ----------------------------------------------------
+
+
+def golden_record():
+    report = lint_files([RACE_FIXTURE])
+    record = report.to_record()
+    for finding in record["findings"]:
+        finding["file"] = pathlib.Path(finding["file"]).name
+    return record
+
+
+def test_golden_json_report():
+    """Regenerate with:  FEM2_REGEN_GOLDEN=1 PYTHONPATH=src python -m
+    pytest tests/test_lint_flow.py -k golden"""
+    payload = json.dumps(golden_record(), indent=2) + "\n"
+    if os.environ.get("FEM2_REGEN_GOLDEN"):
+        GOLDEN.write_text(payload)
+    assert GOLDEN.read_text() == payload
+
+
+def test_report_is_diff_stable():
+    """Linting the same file through overlapping roots yields one copy
+    of each finding, in (file, line, code) order."""
+    report = lint_paths([FIXTURES, RACE_FIXTURE], arch=False)
+    race = [f for f in report.findings if f.code == "W3"
+            and f.file.endswith("spawn_chain_race.py")]
+    assert len(race) == 1
+    ordered = report.sorted_findings()
+    keys = [(f.file, f.line, f.code) for f in ordered]
+    assert keys == sorted(keys)
+
+
+# -- the incremental cache ----------------------------------------------------
+
+
+class TestLintCache:
+    def test_second_run_hits_and_agrees(self):
+        cache = LintCache()
+        first = lint_files([RACE_FIXTURE], cache=cache)
+        second = lint_files([RACE_FIXTURE], cache=cache)
+        assert first.cache_misses == 1 and first.cache_hits == 0
+        assert second.cache_hits == 1 and second.cache_misses == 0
+        assert codes(first) == codes(second) == ["W3"]
+
+    def test_content_change_misses(self):
+        cache = LintCache()
+        source = RACE_FIXTURE.read_text()
+        cache.put(str(RACE_FIXTURE), content_digest(source), [], [])
+        assert cache.get(str(RACE_FIXTURE),
+                         content_digest(source + "\n# x")) is None
+
+    def test_disk_tier_shared_across_processes(self, tmp_path):
+        warm = LintCache(tmp_path)
+        lint_files([RACE_FIXTURE], cache=warm)
+        assert list(tmp_path.glob("*.lintcache"))
+        cold = LintCache(tmp_path)   # fresh memory tier, same directory
+        report = lint_files([RACE_FIXTURE], cache=cold)
+        assert report.cache_hits == 1
+        assert codes(report) == ["W3"]
+
+    def test_hit_rate_in_render(self):
+        cache = LintCache()
+        lint_files([RACE_FIXTURE], cache=cache)
+        report = lint_files([RACE_FIXTURE], cache=cache)
+        assert "cache 1/1 hit(s) (100%)" in report.render()
+
+    def test_cli_cache_flag(self, tmp_path, capsys):
+        argv = ["--cache", "--cache-dir", str(tmp_path), "--no-arch",
+                str(RACE_FIXTURE)]
+        assert lint_main(argv) == 1   # the seeded W3 is an error
+        assert lint_main(argv) == 1   # second run served from disk
+        out = capsys.readouterr().out
+        assert "W3" in out
+        assert "cache 1/1 hit(s)" in out
