@@ -187,11 +187,96 @@ def soundness_experiment():
     return exp, results
 
 
+def _cg_calibration():
+    """The E3 workload plus the parameter bindings that ground its free
+    cost parameters in measurable problem quantities."""
+    from repro.bench import plane_stress_cantilever
+    from repro.fem import parallel_cg_solve, partition_strips
+    from repro.fem.parallel import _worker_payload
+
+    problem = plane_stress_cantilever(6)
+    cfg = MachineConfig(n_clusters=4, pes_per_cluster=5,
+                        memory_words_per_cluster=32_000_000)
+    prog = Fem2Program(cfg)
+    subs = partition_strips(problem.mesh, 4)
+    info = parallel_cg_solve(prog, problem.mesh, problem.material,
+                             problem.constraints, problem.loads,
+                             subs=subs, tol=1e-8)
+    n = problem.mesh.n_dofs
+    it = info.iterations
+    fixed = problem.constraints.fixed_dofs
+    max_hull = max(_worker_payload(problem.mesh, problem.material, s,
+                                   fixed)["hull"] for s in subs)
+    max_aflops = max(w["assembly_flops"] for w in info.worker_stats)
+    rules = [
+        ("loop", "fem.cg_root.*", "subs", len(subs)),
+        ("loop", "fem.cg_root.*", None, it),          # the CG while loop
+        ("loop", "fem.cg_worker.*", None, it + 1),    # serve + stop rounds
+        ("alloc", "fem.cg_root.*", "n", n),
+        ("alloc", "fem.cg_worker.*", "k_assembled", max_hull * max_hull),
+        ("flops", "fem.cg_root.*", None, 10 * n),
+        ("flops", "fem.cg_worker.*", "flops", max_aflops),
+        ("flops", "fem.cg_worker.*", None, 2 * max_hull * max_hull),
+        ("win", "fem.cg_worker.*", "ctrl_win", 1),
+        ("win", "*", None, n),                        # whole-vector windows
+    ]
+    return prog, rules
+
+
+def cost_experiment():
+    """LINT-COST: cost-model throughput plus trace calibration."""
+    exp = Experiment("LINT-COST",
+                     "static cost bounds: model throughput and "
+                     "calibration tightness")
+    exp.set_headers("workload", "tasks", "checks", "violations",
+                    "tightness", "host ms", "tasks/sec")
+    from repro.lint import analyze_costs, build_cost_report, calibrate
+
+    tasks = []
+    for f in iter_py_files([ROOT / "src", ROOT / "examples",
+                            ROOT / "benchmarks"]):
+        try:
+            tree = ast.parse(f.read_text())
+        except (SyntaxError, ValueError):
+            continue
+        tasks.extend(collect_tasks(tree, str(f)))
+    t0 = time.perf_counter()
+    report = build_cost_report(analyze_costs(tasks))
+    elapsed = time.perf_counter() - t0
+    exp.add_row("corpus cost model", len(report.tasks), "-", "-", "-",
+                round(1000.0 * elapsed, 1),
+                round(len(tasks) / elapsed, 1) if elapsed > 0 else 0.0)
+
+    results = {}
+    workloads = (
+        ("forall fanout (E5)", lambda: (_fanout_workload(None), ())),
+        ("broadcast (E11)", lambda: (_broadcast_workload(None), ())),
+        ("parallel CG (E3)", _cg_calibration),
+    )
+    for name, build in workloads:
+        prog, rules = build()
+        t0 = time.perf_counter()
+        result = calibrate(prog, rules)
+        elapsed = time.perf_counter() - t0
+        results[name] = result
+        tightness = result.tightness
+        exp.add_row(name, "-", len(result.checks), len(result.violations),
+                    "-" if tightness is None else round(tightness, 2),
+                    round(1000.0 * elapsed, 1), "-")
+    exp.note("tightness = max over (cycles, total messages, alloc peak) of "
+             "predicted upper bound / observed; bounds hold iff "
+             "violations = 0")
+    exp.note("corpus row: host cost of one fem2-cost/1 report over every "
+             "task in src+examples+benchmarks")
+    return exp, results
+
+
 def run_lint():
     exp, data = lint_experiment()
     flow_exp = flow_experiment()
     sound_exp, sound = soundness_experiment()
-    return (exp, flow_exp, sound_exp), (data, sound)
+    cost_exp, calibrations = cost_experiment()
+    return (exp, flow_exp, sound_exp, cost_exp), (data, sound, calibrations)
 
 
 def bench_lint_throughput():
@@ -201,7 +286,7 @@ def bench_lint_throughput():
 
 
 def test_lint_throughput(benchmark, experiment_sink):
-    exps, (data, sound) = run_once(benchmark, run_lint)
+    exps, (data, sound, calibrations) = run_once(benchmark, run_lint)
     for exp in exps:
         experiment_sink(exp)
     for name, (report, _elapsed) in data.items():
@@ -213,4 +298,8 @@ def test_lint_throughput(benchmark, experiment_sink):
     assert cached.cache_misses == 0
     for name, result in sound.items():
         assert result.ok, f"{name}: unpredicted edges {result.unpredicted}"
+    for name, result in calibrations.items():
+        assert result.ok, f"{name}: {[c.render() for c in result.violations]}"
+        assert result.tightness is not None and result.tightness <= 4.0, \
+            f"{name}: calibration tightness {result.tightness}"
     assert bench_lint_throughput() > 0

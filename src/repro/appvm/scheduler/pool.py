@@ -39,7 +39,14 @@ from ...fem import (
 )
 from ...hardware.machine import MachineConfig
 from ...langvm import Fem2Program
-from ...lint import FLOW_SCHEMA, flow_summary, lint_program
+from ...lint import (
+    COST_SCHEMA,
+    FLOW_SCHEMA,
+    cost_report,
+    flow_summary,
+    lint_program,
+    machine_env,
+)
 from ..model import AnalysisResult
 from .dispatch import FairShareQueue
 from .handle import JobHandle
@@ -307,6 +314,8 @@ class ServicePool:
         self._ids = itertools.count(1)
         self._finished_unclaimed: List[JobHandle] = []
         self._lint_cache: Dict[tuple, object] = {}
+        #: predicted cost units per (model, load set, workers, tol)
+        self._cost_cache: Dict[tuple, int] = {}
 
     # -- submission ---------------------------------------------------------
 
@@ -326,11 +335,12 @@ class ServicePool:
         spec.validate_model()
         if spec.lint != "off":
             self._lint_gate(spec.lint)
+        cost = self._cost_units(spec)
         handle = JobHandle(spec, owner=self, job_id=next(self._ids))
         handle.submit_time = self.now
         self.handles.append(handle)
         ledger = self.tenants.get(spec.tenant)
-        reason = admission_reason(ledger, self.now)
+        reason = admission_reason(ledger, self.now, cost=cost)
         if reason is not None:
             handle.state = JobState.REJECTED
             handle.reason = reason
@@ -362,15 +372,17 @@ class ServicePool:
         registered on the pool's front machine (cached per registry
         state) and enforce its findings before admission.  The gate also
         extracts the program's static route summary (``fem2-flow/1``)
-        and posts it on the tracer as a ``lint.flow`` point, so every
-        admitted job carries its predicted communication structure."""
+        and cost bounds (``fem2-cost/1``), posting both on the tracer as
+        ``lint.flow`` / ``lint.cost`` points, so every admitted job
+        carries its predicted communication structure and cost."""
         program = self.machines[0].program
         key = tuple(program.runtime.registry.types())
         cached = self._lint_cache.get(key)
         if cached is None:
-            cached = (lint_program(program), flow_summary(program))
+            cached = (lint_program(program), flow_summary(program),
+                      cost_report(program))
             self._lint_cache[key] = cached
-        report, flow = cached
+        report, flow, cost = cached
         report.emit(program.runtime.obs, program.now)
         tr = program.runtime.obs
         if tr is not None and getattr(tr, "enabled", False):
@@ -378,6 +390,9 @@ class ServicePool:
                      schema=FLOW_SCHEMA, tasks=len(flow.tasks),
                      routes=len(flow.routes),
                      msg_routes=len(flow.msg_routes))
+            tr.point("lint.cost", "static cost bounds", program.now,
+                     schema=COST_SCHEMA, tasks=len(cost.tasks),
+                     edges=len(cost.edges), bounded=cost.bounded)
         if report.clean:
             return
         rendered = "; ".join(f.render() for f in report.findings)
@@ -385,6 +400,54 @@ class ServicePool:
             raise AppVMError(f"program rejected by static analysis: {rendered}")
         warnings.warn(f"static analysis findings: {rendered}",
                       UserWarning, stacklevel=4)
+
+    # -- predicted cost ------------------------------------------------------
+
+    def _cost_units(self, spec: JobSpec) -> int:
+        """The job's admission cost in cycles: the declared
+        ``cost_units`` override when present (cross-checked against the
+        model under the lint gate), else the static cost model's
+        predicted lower bound — the cycles the job *provably* consumes,
+        so admission never over-rejects on a loose upper bound."""
+        if spec.cost_units is None:
+            return self._predicted_cost_units(spec)
+        if spec.lint != "off":
+            predicted = self._predicted_cost_units(spec)
+            if spec.cost_units < predicted:
+                msg = (f"declared cost_units={spec.cost_units} is below "
+                       f"the predicted lower bound of {predicted} cycles "
+                       f"for {spec.model.name!r}")
+                if spec.lint == "error":
+                    raise AppVMError(f"job rejected by cost check: {msg}")
+                warnings.warn(msg, UserWarning, stacklevel=3)
+        return spec.cost_units
+
+    def _predicted_cost_units(self, spec: JobSpec) -> int:
+        """Predicted guaranteed-minimum cycles of one solve, from the
+        ``fem2-cost/1`` report of the job's task types registered on a
+        scratch program (cached per solve shape).  Unresolved program
+        parameters evaluate at zero — sound for a lower bound, since
+        every cost parameter is non-negative."""
+        key = (spec.model.name, spec.load_set, spec.workers, spec.tol)
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            scratch = Fem2Program(self.config)
+            register_parallel_cg(
+                scratch,
+                spec.model.require_mesh(),
+                spec.model.material,
+                spec.model.require_constraints(),
+                spec.model.load_set(spec.load_set),
+                n_workers=spec.workers,
+                tol=spec.tol,
+                worker_name="cost.cg_worker",
+                root_name="cost.cg_root",
+            )
+            lo, _hi = cost_report(scratch).cycles.evaluate(
+                machine_env(self.config), default=0.0)
+            cached = max(1, int(lo))
+            self._cost_cache[key] = cached
+        return cached
 
     # -- dispatch -----------------------------------------------------------
 

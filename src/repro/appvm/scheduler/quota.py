@@ -56,19 +56,33 @@ class TenantLedger:
         self.pass_value += cycles / self.tenant.share
 
 
-def admission_reason(ledger: TenantLedger, now: int) -> Optional[str]:
-    """Why a new submit must be rejected right now, or None to admit."""
+def admission_reason(ledger: TenantLedger, now: int,
+                     cost: Optional[int] = None) -> Optional[str]:
+    """Why a new submit must be rejected right now, or None to admit.
+
+    *cost* is the job's cost in cycles — the static cost model's
+    predicted lower bound, or the spec's declared ``cost_units``
+    override.  A job whose cost provably exceeds what remains of the
+    tenant's window quota is rejected up front instead of being queued
+    and starving the window mid-run.
+    """
     tenant = ledger.tenant
     if tenant.max_concurrent is not None \
             and ledger.in_flight >= tenant.max_concurrent:
         return (f"tenant {tenant.name!r} is at its concurrency quota "
                 f"({ledger.in_flight}/{tenant.max_concurrent} jobs in flight)")
     ledger.roll_window(now)
-    if tenant.max_cycles_per_window is not None \
-            and ledger.window_used >= tenant.max_cycles_per_window:
-        return (f"tenant {tenant.name!r} exhausted its cycle quota for this "
-                f"window ({ledger.window_used}/{tenant.max_cycles_per_window} "
-                f"cycles used)")
+    if tenant.max_cycles_per_window is not None:
+        if ledger.window_used >= tenant.max_cycles_per_window:
+            return (f"tenant {tenant.name!r} exhausted its cycle quota for "
+                    f"this window ({ledger.window_used}/"
+                    f"{tenant.max_cycles_per_window} cycles used)")
+        if cost is not None \
+                and ledger.window_used + cost > tenant.max_cycles_per_window:
+            return (f"tenant {tenant.name!r} cannot fit a job costing "
+                    f"{cost} cycles in this window "
+                    f"({ledger.window_used}/{tenant.max_cycles_per_window} "
+                    f"cycles used)")
     return None
 
 

@@ -67,6 +67,12 @@ class JobSpec:
     priority: int = 0
     tenant: str = "default"
     lint: str = "off"
+    #: declared cost in machine cycles, overriding the static cost
+    #: model's prediction for window-quota admission.  The lint gate
+    #: cross-checks a declaration against the predicted lower bound —
+    #: a declaration below what the job provably consumes is rejected
+    #: (``lint="error"``) or warned about, never silently trusted.
+    cost_units: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.user, str) or not self.user:
@@ -84,6 +90,10 @@ class JobSpec:
         if self.lint not in LINT_MODES:
             raise AppVMError(
                 f"lint must be one of {LINT_MODES}, got {self.lint!r}")
+        if self.cost_units is not None and self.cost_units < 1:
+            raise AppVMError(
+                f"JobSpec.cost_units must be >= 1 when set, "
+                f"got {self.cost_units}")
 
     def validate_model(self) -> None:
         """Fail fast at submit time on an unsolvable model."""

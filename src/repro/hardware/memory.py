@@ -47,6 +47,8 @@ class SharedMemory:
         if self.used_words > self.high_water:
             self.high_water = self.used_words
             self.metrics.set_max(f"mem.hwm.cluster{self.cluster_id}", self.high_water)
+        self.metrics.set_max(f"mem.hwm.{tag}.cluster{self.cluster_id}",
+                             self._by_tag[tag])
         self.metrics.incr("mem.reservations")
         self.metrics.incr(f"mem.reserved.{tag}", words)
 

@@ -46,11 +46,19 @@ class TaskContext(SimpleContext):
 
     # -- data and windows ----------------------------------------------------
 
-    def create(self, data: Any) -> fx.CreateArray:
-        """Create an array owned by this task in the local cluster."""
+    def create(self, data: Any,
+               capacity: Optional[int] = None) -> fx.CreateArray:
+        """Create an array owned by this task in the local cluster.
+
+        *capacity* is an analysis-only annotation — the declared writer
+        fan-in the static cost checker (rule C2) cross-checks against
+        predicted activations; the run-time ignores it."""
+        del capacity
         return fx.CreateArray(np.asarray(data, dtype=float))
 
-    def zeros(self, *shape: int) -> fx.CreateArray:
+    def zeros(self, *shape: int,
+              capacity: Optional[int] = None) -> fx.CreateArray:
+        del capacity
         return fx.CreateArray(np.zeros(shape))
 
     def free(self, handle) -> fx.FreeArray:

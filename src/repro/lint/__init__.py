@@ -31,6 +31,17 @@ from .api import check_package_api, check_public_api
 from .astutil import TaskInfo, analyze_task, collect_tasks
 from .cache import LintCache
 from .cli import lint_files, lint_paths, lint_source, main
+from .cost import (
+    COST_SCHEMA,
+    CalibrationResult,
+    CostReport,
+    TaskCost,
+    analyze_costs,
+    build_cost_report,
+    calibrate,
+    check_cost,
+    machine_env,
+)
 from .deprecated import check_deprecated_api
 from .findings import CODES, SCHEMA, Finding, LintReport
 from .flow import (
@@ -100,20 +111,34 @@ def flow_summary(program) -> FlowSummary:
     return summarize(registry_tasks(program))
 
 
+def cost_report(program) -> CostReport:
+    """The ``fem2-cost/1`` report for a built program's task set (the
+    :class:`~repro.appvm.ServicePool` admission gate's cost source)."""
+    return build_cost_report(analyze_costs(registry_tasks(program)))
+
+
 __all__ = [
     "ALLOWED",
     "CODES",
+    "COST_SCHEMA",
     "FLOW_SCHEMA",
     "SCHEMA",
+    "CalibrationResult",
+    "CostReport",
     "Finding",
     "FlowSummary",
     "LintCache",
     "LintReport",
     "SoundnessResult",
+    "TaskCost",
     "TaskGraph",
     "TaskInfo",
+    "analyze_costs",
     "analyze_task",
+    "build_cost_report",
     "build_graph",
+    "calibrate",
+    "check_cost",
     "check_d1",
     "check_d2",
     "check_deprecated_api",
@@ -130,12 +155,14 @@ __all__ = [
     "check_w3",
     "check_x1",
     "collect_tasks",
+    "cost_report",
     "flow_summary",
     "layering_violations",
     "lint_files",
     "lint_paths",
     "lint_program",
     "lint_source",
+    "machine_env",
     "main",
     "observed_edges",
     "registry_tasks",

@@ -128,6 +128,35 @@ def _arg_ref(node: ast.AST) -> ArgRef:
     return None
 
 
+def _loop_trips(it: ast.AST) -> ArgRef:
+    """Trip-count reference of a ``for`` iterable, when legible.
+
+    ``range(k)`` / ``range(a, b)`` literals, bare-name iterables, and
+    literal sequences resolve exactly; ``zip(xs, ...)`` resolves to
+    ``("name_ub", xs)`` — an upper bound only, since zip stops at the
+    shortest argument.  ``enumerate`` is transparent."""
+    if isinstance(it, ast.Call) and call_tail(it) == "enumerate" and it.args:
+        it = it.args[0]
+    if isinstance(it, ast.Call):
+        tail = call_tail(it)
+        if tail == "range":
+            if len(it.args) == 1:
+                return _arg_ref(it.args[0])
+            if len(it.args) >= 2:
+                lo, hi = literal_int(it.args[0]), literal_int(it.args[1])
+                if lo is not None and hi is not None and len(it.args) == 2:
+                    return ("int", max(0, hi - lo))
+            return None
+        if tail == "zip" and it.args and isinstance(it.args[0], ast.Name):
+            return ("name_ub", it.args[0].id)
+        return None
+    if isinstance(it, ast.Name):
+        return ("name", it.id)
+    if isinstance(it, (ast.List, ast.Tuple)):
+        return ("int", len(it.elts))
+    return None
+
+
 @dataclass
 class InitiateSite:
     """One task-initiation point inside a task body."""
@@ -142,6 +171,7 @@ class InitiateSite:
     waits_inline: bool = False      # forall/pardo/... wait internally
     task_type_name: Optional[str] = None  # bare-name task type (dynamic site)
     count_name: Optional[str] = None      # bare-name replication count
+    count: Optional[int] = None           # literal replication count
 
 
 @dataclass
@@ -154,7 +184,10 @@ class Event:
     ``initiate``       task initiation, ``site``
     ``wait``           ``names`` = waited tid bindings (None = unknown)
     ``compute``        ``value`` = literal cycles (or None), ``name`` =
-                       bare-name cycle count for constant propagation
+                       bare-name cycle count for constant propagation,
+                       ``args`` = (flops ref, cycles ref) for the cost
+                       model (``("int", 0)`` marks an absent keyword)
+    ``free``           array release, ``name`` = handle binding
     ``pause`` / ``resume`` / ``broadcast`` / ``receive``  task control
     ``rpc``            ``ctx.call``, ``name`` = literal service name
     ``subcall``        ``yield from helper(ctx, ...)``: ``name`` =
@@ -166,7 +199,9 @@ class Event:
     ``augment``        ``names[0]`` merged with ``name`` (extend/append/
                        ``+=``); ``name`` None = unknown source
     ``clobber``        ``names`` re-bound to something untrackable
-    ``window``         ``names`` alias the array/window ``name``
+    ``window``         ``names`` alias the array/window ``name``; on
+                       create/zeros sites ``args`` = size refs and
+                       ``value`` = declared ``capacity`` (C2)
     """
 
     kind: str
@@ -188,11 +223,15 @@ class Region:
     ``loop``   single child Region executed zero or more times
     ``exits``  a seq that ends control flow (return/raise) — branch
                joins exclude it
+    ``trips``  loop trip-count :data:`ArgRef` when the iterable is
+               statically legible (``range(n)``, a bare-name iterable);
+               kind ``"name_ub"`` marks an upper bound only (``zip``)
     """
 
     kind: str
     children: List[Union[Event, "Region"]] = field(default_factory=list)
     exits: bool = False
+    trips: Optional[Tuple[str, object]] = None
 
 
 @dataclass
@@ -289,7 +328,7 @@ class _TaskVisitor:
                         [self._sub(stmt.body, guarded, True),
                          self._sub(stmt.orelse, guarded, True)])
                 elif isinstance(stmt, ast.For):
-                    body = Region("loop")
+                    body = Region("loop", trips=_loop_trips(stmt.iter))
                     # `for t in tids:` binds t to elements of tids
                     if isinstance(stmt.target, ast.Name) \
                             and isinstance(stmt.iter, ast.Name):
@@ -347,6 +386,7 @@ class _TaskVisitor:
                 return
             self._expression(stmt.value, assigned=(), discarded=True,
                              conditional=conditional)
+            self._nested_yields(stmt.value, conditional)
         elif isinstance(stmt, ast.Assign):
             names = self._target_names(stmt.targets)
             self._binding(stmt.value, names, conditional)
@@ -355,11 +395,26 @@ class _TaskVisitor:
             self._binding(stmt.value, names, conditional)
         elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
             src = stmt.value.id if isinstance(stmt.value, ast.Name) else None
+            self._nested_yields(stmt.value, conditional)
             self.emit(Event("augment", self.line(stmt), name=src,
                             names=(stmt.target.id,)))
         elif isinstance(stmt, ast.Return) and stmt.value is not None:
             self._expression(stmt.value, assigned=(), discarded=False,
                              conditional=conditional)
+            self._nested_yields(stmt.value, conditional)
+
+    def _nested_yields(self, value: ast.AST, conditional: bool) -> None:
+        """Yields buried inside a larger expression —
+        ``p = (yield ctx.read(p_win)).ravel()`` — still perform their
+        effect; route each through the classifier so the event IR (and
+        the cost model's message counts) see it.  The top-level yield
+        is excluded: :meth:`_expression` already unwraps it."""
+        for node in ast.walk(value):
+            if node is value:
+                continue
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                self._expression(node, assigned=(), discarded=False,
+                                 conditional=conditional)
 
     def _binding(self, value: ast.AST, names: Tuple[str, ...],
                  conditional: bool) -> None:
@@ -368,6 +423,7 @@ class _TaskVisitor:
         handled = self._expression(value, assigned=names,
                                    discarded=not names,
                                    conditional=conditional)
+        self._nested_yields(value, conditional)
         if handled or not names:
             return
         line = getattr(value, "lineno", 1) + self.offset
@@ -462,13 +518,18 @@ class _TaskVisitor:
             self.emit(Event("read", line, name=first_name))
         elif tail in ("create", "zeros"):
             info.created.update(assigned)
-            self.emit(Event("window", line, names=assigned))
+            cap = keyword_arg(call, "capacity")
+            self.emit(Event("window", line, names=assigned,
+                            value=literal_int(cap) if cap is not None else None,
+                            args=self._size_refs(call, tail)))
             return True
         elif tail == "window" and first_name:
             # ctx.window(h): the target names alias the handle
             info.created.update(a for a in assigned if first_name in info.created)
             self.emit(Event("window", line, name=first_name, names=assigned))
             return True
+        elif tail == "free":
+            self.emit(Event("free", line, name=first_name))
         elif tail == "local" and first_name:
             info.local_uses.append((line, first_name))
         elif tail == "wait":
@@ -483,17 +544,24 @@ class _TaskVisitor:
             return True
         elif tail == "compute":
             cyc = keyword_arg(call, "cycles")
+            flops = keyword_arg(call, "flops")
+            if flops is None and call.args:
+                flops = call.args[0]
             self.emit(Event(
                 "compute", line,
                 value=literal_int(cyc) if cyc is not None else None,
                 name=cyc.id if isinstance(cyc, ast.Name) else None,
+                args=(
+                    _arg_ref(flops) if flops is not None else ("int", 0),
+                    _arg_ref(cyc) if cyc is not None else ("int", 0),
+                ),
             ))
         elif tail == "pause":
             self.emit(Event("pause", line))
         elif tail == "resume":
             self.emit(Event("resume", line))
         elif tail == "broadcast":
-            self.emit(Event("broadcast", line))
+            self.emit(Event("broadcast", line, name=first_name))
         elif tail == "receive":
             self.emit(Event("receive", line))
         elif tail == "call":
@@ -504,6 +572,7 @@ class _TaskVisitor:
             count_val = literal_int(count) if count is not None else 1
             replicated = count is not None and (count_val is None or count_val > 1)
             site = InitiateSite(
+                count=count_val,
                 line=line,
                 task_type=literal_str(call.args[0]) if call.args else None,
                 arg_names=tuple(
@@ -521,6 +590,34 @@ class _TaskVisitor:
             self.emit(Event("initiate", line, site=site, names=assigned))
             return True
         return False
+
+    @staticmethod
+    def _size_refs(call: ast.Call, tail: str) -> Tuple[ArgRef, ...]:
+        """Word-count references of a ``create``/``zeros`` site.
+
+        ``zeros`` dimensions are taken directly; ``create`` looks
+        through an ``np.zeros(...)``-style constructor or keeps the
+        bare source name.  ``(None,)`` means the size is illegible."""
+        if tail == "zeros":
+            dims = [a for a in call.args]
+            if not dims:
+                return (("int", 1),)
+            return tuple(_arg_ref(a) for a in dims)
+        if not call.args:
+            return (None,)
+        data = call.args[0]
+        if isinstance(data, ast.Call) and call_tail(data) in (
+                "zeros", "ones", "empty", "full") and data.args:
+            inner = data.args[0]
+            if isinstance(inner, (ast.Tuple, ast.List)):
+                return tuple(_arg_ref(a) for a in inner.elts)
+            return (_arg_ref(inner),)
+        if isinstance(data, (ast.List, ast.Tuple)):
+            return (("int", len(data.elts)),)
+        ref = _arg_ref(data)
+        if ref is not None and ref[0] == "str":
+            ref = None
+        return (ref,)
 
     @staticmethod
     def _wait_names(call: ast.Call) -> Tuple[Optional[str], ...]:
@@ -568,7 +665,7 @@ class _TaskVisitor:
                 line=line, task_type=task_type, arg_names=arg_names,
                 replicated=(n_val is None or n_val > 1),
                 conditional=conditional, assigned=(), discarded=False,
-                waits_inline=True,
+                waits_inline=True, count=n_val,
                 task_type_name=type_node.id
                 if isinstance(type_node, ast.Name) else None,
                 count_name=n.id if isinstance(n, ast.Name) else None,
@@ -586,6 +683,7 @@ class _TaskVisitor:
                         line=line, task_type=parsed[0], arg_names=parsed[1],
                         replicated=False, conditional=conditional,
                         assigned=(), discarded=False, waits_inline=True,
+                        count=1,
                     )
                     info.initiates.append(site)
                     self.emit(Event("initiate", line, site=site))

@@ -25,14 +25,31 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .astutil import TaskInfo
-from .findings import Finding
+from .findings import CODES, Finding
 
 #: bump when the cached shape (TaskInfo fields, finding semantics) changes
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 def content_digest(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8", "replace")).hexdigest()
+
+
+def rules_token() -> str:
+    """A digest of the rule set itself (codes + meanings).  Adding,
+    removing, or rewording a rule changes the token, so cached per-file
+    findings from an older rule set can never be replayed as current."""
+    text = ";".join(f"{code}={CODES[code]}" for code in sorted(CODES))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def selection_salt(select: Optional[List[str]] = None,
+                   ignore: Optional[List[str]] = None) -> str:
+    """Cache salt for one (rule version, ``--select``, ``--ignore``)
+    combination — different selections must not share entries."""
+    return (f"{rules_token()}"
+            f"|select={','.join(sorted(select or ()))}"
+            f"|ignore={','.join(sorted(ignore or ()))}")
 
 
 @dataclass
@@ -44,24 +61,34 @@ class CacheEntry:
     digest: str
     findings: List[Finding]
     tasks: List[TaskInfo]
+    salt: str = ""
 
 
 class LintCache:
-    """(path, content-hash) -> per-file analysis results."""
+    """(path, content-hash, rule salt) -> per-file analysis results.
 
-    def __init__(self, directory: Optional[pathlib.Path] = None) -> None:
+    The *salt* folds the rule-set version and the active
+    ``--select``/``--ignore`` selection into the key (see
+    :func:`selection_salt`): an entry written under one rule set can
+    never satisfy a probe from another."""
+
+    def __init__(self, directory: Optional[pathlib.Path] = None,
+                 salt: Optional[str] = None) -> None:
         self.directory = pathlib.Path(directory) if directory else None
-        self._memory: Dict[Tuple[str, str], CacheEntry] = {}
+        self.salt = selection_salt() if salt is None else salt
+        self._memory: Dict[Tuple[str, str, str], CacheEntry] = {}
         self.hits = 0
         self.misses = 0
 
     def _disk_path(self, digest: str) -> Optional[pathlib.Path]:
         if self.directory is None:
             return None
-        return self.directory / f"{digest}.lintcache"
+        token = hashlib.sha256(
+            f"{digest}|{self.salt}".encode()).hexdigest()
+        return self.directory / f"{token}.lintcache"
 
     def get(self, path: str, digest: str) -> Optional[CacheEntry]:
-        entry = self._memory.get((path, digest))
+        entry = self._memory.get((path, digest, self.salt))
         if entry is not None:
             self.hits += 1
             return entry
@@ -73,8 +100,9 @@ class LintCache:
                 entry = None
             if (isinstance(entry, CacheEntry)
                     and entry.version == CACHE_VERSION
-                    and entry.path == path and entry.digest == digest):
-                self._memory[(path, digest)] = entry
+                    and entry.path == path and entry.digest == digest
+                    and entry.salt == self.salt):
+                self._memory[(path, digest, self.salt)] = entry
                 self.hits += 1
                 return entry
         self.misses += 1
@@ -83,8 +111,8 @@ class LintCache:
     def put(self, path: str, digest: str, findings: List[Finding],
             tasks: List[TaskInfo]) -> None:
         entry = CacheEntry(CACHE_VERSION, path, digest,
-                           list(findings), list(tasks))
-        self._memory[(path, digest)] = entry
+                           list(findings), list(tasks), salt=self.salt)
+        self._memory[(path, digest, self.salt)] = entry
         disk = self._disk_path(digest)
         if disk is not None:
             try:

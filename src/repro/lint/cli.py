@@ -7,6 +7,9 @@ Usage::
     python -m repro.lint path/to/prog.py    # one program file
     python -m repro.lint --json ...         # machine-readable report
     python -m repro.lint --strict ...       # warnings also fail
+    python -m repro.lint --select W1,C1 ... # only these rule codes
+    python -m repro.lint --ignore C2 ...    # all but these codes
+    python -m repro.lint --cost ...         # fem2-cost/1 bounds too
 
 Program checkers (W1/W2/D1/O1) run over every task function found in
 the given files; task registries are resolved across *all* given files,
@@ -30,9 +33,9 @@ from typing import Iterable, List, Optional, Sequence
 
 from .api import check_public_api
 from .astutil import TaskInfo, collect_tasks
-from .cache import LintCache, content_digest
+from .cache import LintCache, content_digest, selection_salt
 from .deprecated import check_deprecated_api
-from .findings import Finding, LintReport
+from .findings import CODES, Finding, LintReport
 from .layering import check_layering
 from .program import check_tasks
 from .snapshots import check_snapshots
@@ -93,15 +96,18 @@ def _analyze_file(f: pathlib.Path, source: str):
 
 def lint_files(files: Sequence[pathlib.Path],
                report: Optional[LintReport] = None,
-               cache: Optional[LintCache] = None) -> LintReport:
+               cache: Optional[LintCache] = None,
+               tasks_out: Optional[List[TaskInfo]] = None) -> LintReport:
     """Program + per-file architecture checks over a set of files.
 
     With a :class:`~repro.lint.cache.LintCache`, unchanged files reuse
     their per-file findings and extracted tasks; the cross-file program
-    checks always re-run over the assembled task set.
+    checks always re-run over the assembled task set.  Pass *tasks_out*
+    to receive the assembled task set (the ``--cost`` report is built
+    from it without re-parsing).
     """
     report = report or LintReport()
-    tasks: List[TaskInfo] = []
+    tasks: List[TaskInfo] = tasks_out if tasks_out is not None else []
     findings: List[Finding] = []
     for f in files:
         source = f.read_text()
@@ -127,10 +133,12 @@ def lint_files(files: Sequence[pathlib.Path],
 
 
 def lint_paths(paths: Iterable, arch: bool = True,
-               cache: Optional[LintCache] = None) -> LintReport:
+               cache: Optional[LintCache] = None,
+               tasks_out: Optional[List[TaskInfo]] = None) -> LintReport:
     """Lint files and (when a repro root is present) the architecture."""
     paths = [pathlib.Path(p) for p in paths]
-    report = lint_files(iter_py_files(paths), cache=cache)
+    report = lint_files(iter_py_files(paths), cache=cache,
+                        tasks_out=tasks_out)
     if arch:
         for root in find_repro_roots(paths):
             report.extend(check_layering(root))
@@ -186,16 +194,67 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     default=pathlib.Path(".lint-cache"),
                     help="directory for the incremental cache "
                          "(default: ./.lint-cache)")
+    ap.add_argument("--select", action="append", default=None,
+                    metavar="CODES",
+                    help="comma-separated rule codes to report "
+                         "(default: all); repeatable")
+    ap.add_argument("--ignore", action="append", default=None,
+                    metavar="CODES",
+                    help="comma-separated rule codes to suppress; "
+                         "repeatable")
+    ap.add_argument("--cost", action="store_true",
+                    help="emit the fem2-cost/1 static cost report for "
+                         "the linted task set")
+    ap.add_argument("--cost-out", type=pathlib.Path, default=None,
+                    metavar="PATH",
+                    help="write the cost report as JSON to PATH "
+                         "(implies --cost)")
     args = ap.parse_args(argv)
 
+    select = _split_codes(ap, args.select)
+    ignore = _split_codes(ap, args.ignore)
     paths = args.paths or _default_paths()
-    cache = LintCache(args.cache_dir) if args.cache else None
-    report = lint_paths(paths, arch=not args.no_arch, cache=cache)
+    cache = (LintCache(args.cache_dir, salt=selection_salt(select, ignore))
+             if args.cache else None)
+    want_cost = args.cost or args.cost_out is not None
+    tasks: List[TaskInfo] = []
+    report = lint_paths(paths, arch=not args.no_arch, cache=cache,
+                        tasks_out=tasks if want_cost else None)
+    if select or ignore:
+        report = report.filtered(select, ignore)
+
+    cost_record = None
+    if want_cost:
+        from .cost import analyze_costs, build_cost_report
+        cost = build_cost_report(analyze_costs(tasks))
+        cost_record = cost.to_record()
+        if args.cost_out is not None:
+            args.cost_out.write_text(json.dumps(cost_record, indent=2) + "\n")
+
     if args.json:
-        print(json.dumps(report.to_record(), indent=2))
+        record = report.to_record()
+        if cost_record is not None:
+            record["cost"] = cost_record
+        print(json.dumps(record, indent=2))
     else:
         print(report.render())
+        if want_cost:
+            print(cost.render())
     return report.exit_code(strict=args.strict)
+
+
+def _split_codes(ap: argparse.ArgumentParser,
+                 groups: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if groups is None:
+        return None
+    codes: List[str] = []
+    for group in groups:
+        codes.extend(c.strip() for c in group.split(",") if c.strip())
+    for code in codes:
+        if code not in CODES:
+            ap.error(f"unknown rule code {code!r} "
+                     f"(known: {', '.join(sorted(CODES))})")
+    return codes
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI

@@ -1,0 +1,304 @@
+"""Symbolic cost algebra: polynomials over nonnegative parameters.
+
+Every quantity the cost interpreter tracks — cycles, messages, words —
+is a :class:`CostExpr`: a polynomial with nonnegative integer
+coefficients over named parameters that are themselves nonnegative
+(replication counts, loop trip counts, unresolved compute magnitudes,
+machine constants like ``cfg.flop_cycles``).  Nonnegativity is what
+makes the interval arithmetic sound: under it, monomial-wise
+coefficient min/max are valid lower/upper bounds for branch joins, and
+products of interval endpoints bound products of values.
+
+An :class:`Interval` pairs a lower- and upper-bound expression; the
+upper bound may be :data:`TOP` (statically unbounded — the value C1
+reports on).  Machine parameters are ordinary symbols with a reserved
+``cfg.`` prefix, bound at evaluation time from a machine config.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple, Union
+
+#: reserved parameter names bound from the machine config at evaluation
+MACHINE_PARAMS = (
+    "cfg.flop_cycles",
+    "cfg.message_fixed_cycles",
+    "cfg.word_touch_cycles",
+    "cfg.dispatch_cycles",
+    "cfg.n_clusters",
+)
+
+#: monomial: sorted ((param, power), ...); the empty tuple is the constant term
+Monomial = Tuple[Tuple[str, int], ...]
+
+
+class _Top:
+    """The unbounded upper endpoint."""
+
+    _instance: Optional["_Top"] = None
+
+    def __new__(cls) -> "_Top":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TOP"
+
+
+TOP = _Top()
+
+
+class CostExpr:
+    """A polynomial with nonnegative coefficients over named parameters."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Optional[Dict[Monomial, int]] = None) -> None:
+        self.terms: Dict[Monomial, int] = {
+            m: c for m, c in (terms or {}).items() if c
+        }
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def const(cls, value: int) -> "CostExpr":
+        return cls({(): int(value)} if value else {})
+
+    @classmethod
+    def param(cls, name: str) -> "CostExpr":
+        return cls({((name, 1),): 1})
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return all(m == () for m in self.terms)
+
+    def const_value(self) -> Optional[int]:
+        """The numeric value when constant, else None."""
+        if not self.terms:
+            return 0
+        if self.is_const:
+            return self.terms[()]
+        return None
+
+    def params(self) -> Set[str]:
+        return {name for m in self.terms for name, _ in m}
+
+    # -- arithmetic (closed under nonnegative coefficients) ----------------
+
+    def __add__(self, other: Union["CostExpr", int]) -> "CostExpr":
+        if isinstance(other, int):
+            other = CostExpr.const(other)
+        out = dict(self.terms)
+        for m, c in other.terms.items():
+            out[m] = out.get(m, 0) + c
+        return CostExpr(out)
+
+    __radd__ = __add__
+
+    def __mul__(self, other: Union["CostExpr", int]) -> "CostExpr":
+        if isinstance(other, int):
+            return CostExpr({m: c * other for m, c in self.terms.items()})
+        out: Dict[Monomial, int] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                powers: Dict[str, int] = {}
+                for name, p in m1 + m2:
+                    powers[name] = powers.get(name, 0) + p
+                mono = tuple(sorted(powers.items()))
+                out[mono] = out.get(mono, 0) + c1 * c2
+        return CostExpr(out)
+
+    __rmul__ = __mul__
+
+    # -- joins (sound because coefficients and parameters are >= 0) -------
+
+    @staticmethod
+    def join_min(a: "CostExpr", b: "CostExpr") -> "CostExpr":
+        """Monomial-wise min — a lower bound for min(a, b)."""
+        return CostExpr({
+            m: min(a.terms.get(m, 0), b.terms.get(m, 0))
+            for m in set(a.terms) | set(b.terms)
+        })
+
+    @staticmethod
+    def join_max(a: "CostExpr", b: "CostExpr") -> "CostExpr":
+        """Monomial-wise max — an upper bound for max(a, b)."""
+        return CostExpr({
+            m: max(a.terms.get(m, 0), b.terms.get(m, 0))
+            for m in set(a.terms) | set(b.terms)
+        })
+
+    # -- evaluation and export ---------------------------------------------
+
+    def evaluate(self, env: Mapping[str, float],
+                 default: Optional[float] = None) -> float:
+        """Numeric value under *env*; unbound parameters fall back to
+        *default* (a :class:`KeyError` when no default is given)."""
+        total = 0.0
+        for mono, coeff in self.terms.items():
+            value = float(coeff)
+            for name, power in mono:
+                if name in env:
+                    base = float(env[name])
+                elif default is not None:
+                    base = float(default)
+                else:
+                    raise KeyError(f"unbound cost parameter {name!r}")
+                value *= base ** power
+            total += value
+        return total
+
+    def to_record(self) -> List[List[Any]]:
+        """``[[coeff, [[param, power], ...]], ...]`` canonically sorted."""
+        return [
+            [coeff, [[name, power] for name, power in mono]]
+            for mono, coeff in sorted(self.terms.items())
+        ]
+
+    @classmethod
+    def from_record(cls, record: List[List[Any]]) -> "CostExpr":
+        return cls({
+            tuple((name, power) for name, power in mono): coeff
+            for coeff, mono in record
+        })
+
+    def render(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for mono, coeff in sorted(self.terms.items()):
+            factors: List[str] = []
+            if coeff != 1 or not mono:
+                factors.append(str(coeff))
+            for name, power in mono:
+                factors.append(name if power == 1 else f"{name}^{power}")
+            parts.append("*".join(factors))
+        return " + ".join(parts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CostExpr) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.terms.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CostExpr({self.render()})"
+
+
+ZERO = CostExpr.const(0)
+ONE = CostExpr.const(1)
+
+Hi = Union[CostExpr, _Top]
+
+
+class Interval:
+    """``[lo, hi]`` bounds on a nonnegative quantity; ``hi`` may be TOP."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: CostExpr, hi: Hi) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def exact(cls, value: Union[int, CostExpr]) -> "Interval":
+        e = CostExpr.const(value) if isinstance(value, int) else value
+        return cls(e, e)
+
+    @classmethod
+    def of(cls, lo: Union[int, CostExpr], hi: Union[int, CostExpr, _Top]) \
+            -> "Interval":
+        lo_e = CostExpr.const(lo) if isinstance(lo, int) else lo
+        hi_e = hi if isinstance(hi, _Top) else (
+            CostExpr.const(hi) if isinstance(hi, int) else hi)
+        return cls(lo_e, hi_e)
+
+    @classmethod
+    def zero(cls) -> "Interval":
+        return cls(ZERO, ZERO)
+
+    @classmethod
+    def unbounded(cls) -> "Interval":
+        return cls(ZERO, TOP)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        hi = TOP if isinstance(self.hi, _Top) or isinstance(other.hi, _Top) \
+            else self.hi + other.hi
+        return Interval(self.lo + other.lo, hi)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        if isinstance(self.hi, _Top) or isinstance(other.hi, _Top):
+            hi: Hi = TOP
+            # 0 * TOP stays 0: a provably-zero factor annihilates
+            if (not isinstance(self.hi, _Top) and self.hi.const_value() == 0) \
+                    or (not isinstance(other.hi, _Top)
+                        and other.hi.const_value() == 0):
+                hi = ZERO
+        else:
+            hi = self.hi * other.hi
+        return Interval(self.lo * other.lo, hi)
+
+    def scale(self, k: int) -> "Interval":
+        hi = TOP if isinstance(self.hi, _Top) else self.hi * k
+        return Interval(self.lo * k, hi)
+
+    def join(self, other: "Interval") -> "Interval":
+        """Bound for "either value": [min lo, max hi]."""
+        hi = TOP if isinstance(self.hi, _Top) or isinstance(other.hi, _Top) \
+            else CostExpr.join_max(self.hi, other.hi)
+        return Interval(CostExpr.join_min(self.lo, other.lo), hi)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def bounded(self) -> bool:
+        return not isinstance(self.hi, _Top)
+
+    def params(self) -> Set[str]:
+        out = self.lo.params()
+        if not isinstance(self.hi, _Top):
+            out |= self.hi.params()
+        return out
+
+    def is_zero(self) -> bool:
+        return not self.lo.terms and not isinstance(self.hi, _Top) \
+            and not self.hi.terms
+
+    def evaluate(self, env: Mapping[str, float],
+                 default: Optional[float] = None) \
+            -> Tuple[float, Optional[float]]:
+        """``(lo, hi)`` numbers; ``hi`` is None when TOP."""
+        lo = self.lo.evaluate(env, default)
+        hi = None if isinstance(self.hi, _Top) \
+            else self.hi.evaluate(env, default)
+        return lo, hi
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "lo": self.lo.to_record(),
+            "hi": None if isinstance(self.hi, _Top) else self.hi.to_record(),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "Interval":
+        hi = TOP if record["hi"] is None \
+            else CostExpr.from_record(record["hi"])
+        return cls(CostExpr.from_record(record["lo"]), hi)
+
+    def render(self) -> str:
+        hi = "unbounded" if isinstance(self.hi, _Top) else self.hi.render()
+        return f"[{self.lo.render()}, {hi}]"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Interval) and self.lo == other.lo \
+            and (self.hi is other.hi or self.hi == other.hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interval({self.render()})"

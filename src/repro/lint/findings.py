@@ -33,6 +33,9 @@ CODES: Dict[str, str] = {
     "S1": "incomplete snapshot/restore pair (checkpoint contract)",
     "U1": "deprecated submit(user, model, load_set) form; use JobSpec",
     "X1": "task registered but unreachable from any entry task",
+    "C1": "statically unbounded cost: unresolvable replication in an "
+          "unresolvable loop",
+    "C2": "predicted window fan-in exceeds its declared capacity",
 }
 
 SEVERITIES = ("error", "warning")
@@ -87,6 +90,9 @@ class LintReport:
         self.tasks_checked = tasks_checked
         self.cache_hits = 0
         self.cache_misses = 0
+        #: the --select/--ignore rule selection this report was filtered
+        #: by, or None when every rule is in effect
+        self.selection: Optional[Dict[str, List[str]]] = None
         if findings:
             self.extend(findings)
 
@@ -121,6 +127,32 @@ class LintReport:
             counts[f.code] = counts.get(f.code, 0) + 1
         return counts
 
+    def filtered(self, select: Optional[List[str]] = None,
+                 ignore: Optional[List[str]] = None) -> "LintReport":
+        """A copy restricted to a rule-code selection.
+
+        ``select`` keeps only the listed codes (all when empty/None);
+        ``ignore`` then drops its codes.  Unknown codes raise
+        :class:`ValueError` — a typo that silently matched nothing
+        would look like a clean run.  The selection is recorded on the
+        copy and shows up in the ``--json`` report header.
+        """
+        for code in list(select or ()) + list(ignore or ()):
+            if code not in CODES:
+                raise ValueError(f"unknown finding code {code!r} "
+                                 f"(known: {', '.join(sorted(CODES))})")
+        kept = [f for f in self.findings
+                if (not select or f.code in select)
+                and (not ignore or f.code not in ignore)]
+        out = LintReport(files_checked=self.files_checked,
+                         tasks_checked=self.tasks_checked)
+        out.extend(kept)
+        out.cache_hits = self.cache_hits
+        out.cache_misses = self.cache_misses
+        out.selection = {"select": sorted(select or ()),
+                         "ignore": sorted(ignore or ())}
+        return out
+
     def exit_code(self, strict: bool = False) -> int:
         """Process exit status: 1 when errors (or any finding, if strict)."""
         if self.errors or (strict and self.findings):
@@ -142,6 +174,8 @@ class LintReport:
             "counts": self.by_code(),
             "findings": [f.to_record() for f in self.sorted_findings()],
         }
+        if self.selection is not None:
+            record["selection"] = self.selection
         if self.cache_hits or self.cache_misses:
             record["cache"] = {"hits": self.cache_hits,
                                "misses": self.cache_misses}

@@ -230,6 +230,7 @@ def check_o1(tasks: List[TaskInfo]) -> List[Finding]:
 
 def check_tasks(tasks: List[TaskInfo]) -> List[Finding]:
     """Run every program checker over one resolved task set."""
+    from .cost.checks import check_cost
     from .flow.checks import check_flow
     index = _task_index(tasks)
     findings: List[Finding] = []
@@ -237,4 +238,5 @@ def check_tasks(tasks: List[TaskInfo]) -> List[Finding]:
     findings.extend(check_flow(tasks, index))  # W2 / W3 / D2 / X1
     findings.extend(check_d1(tasks, index))
     findings.extend(check_o1(tasks))
+    findings.extend(check_cost(tasks, index))  # C1 / C2
     return findings

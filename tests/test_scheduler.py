@@ -92,6 +92,90 @@ class TestAdmissionQuotas:
         assert pool.stats["rejected"] == 1
 
 
+class TestCostAdmission:
+    def window_pool(self, cap):
+        return ServicePool(
+            n_machines=1, config=small_config(),
+            tenants=[Tenant("capped", max_cycles_per_window=cap,
+                            window_cycles=10**12)],
+        )
+
+    def test_declared_cost_that_cannot_fit_rejects(self):
+        pool = self.window_pool(5000)
+        h = pool.submit(spec_for("a", make_model("m1"), tenant="capped",
+                                 cost_units=6000))
+        assert h.state is JobState.REJECTED
+        assert "cannot fit a job costing 6000" in h.reason
+        h2 = pool.submit(spec_for("b", make_model("m2"), tenant="capped",
+                                  cost_units=4000))
+        assert h2.state is not JobState.REJECTED
+        pool.run()
+        assert h2.done
+
+    def test_predicted_cost_gates_admission_when_undeclared(self):
+        probe = ServicePool(n_machines=1, config=small_config())
+        spec = spec_for("a", make_model("m1"))
+        predicted = probe._predicted_cost_units(spec)
+        assert predicted > 1  # the job provably consumes real cycles
+
+        pool = self.window_pool(predicted - 1)
+        h = pool.submit(spec_for("a", make_model("m1"), tenant="capped"))
+        assert h.state is JobState.REJECTED
+        assert "cannot fit" in h.reason
+
+        roomy = self.window_pool(10**9)
+        h2 = roomy.submit(spec_for("a", make_model("m1"), tenant="capped"))
+        assert h2.state is not JobState.REJECTED
+        roomy.run()
+        assert h2.done
+        # the run costs at least what the model guaranteed
+        assert roomy.tenants.get("capped").consumed >= predicted
+
+    def test_predicted_cost_is_cached_per_solve_shape(self):
+        pool = ServicePool(n_machines=1, config=small_config())
+        spec = spec_for("a", make_model("m1"))
+        first = pool._predicted_cost_units(spec)
+        assert pool._predicted_cost_units(spec) == first
+        assert len(pool._cost_cache) == 1
+
+    def test_declared_below_predicted_bound_is_lint_checked(self):
+        pool = ServicePool(n_machines=1, config=small_config())
+        model = make_model("m1")
+        predicted = pool._predicted_cost_units(spec_for("a", model))
+        assert predicted > 1
+        with pytest.raises(AppVMError, match="below the predicted"):
+            pool.submit(spec_for("a", model, cost_units=predicted - 1,
+                                 lint="error"))
+        with pytest.warns(UserWarning, match="below the predicted"):
+            h = pool.submit(spec_for("a", model, cost_units=predicted - 1,
+                                     lint="warn"))
+        assert h.state is not JobState.REJECTED
+        # a plausible declaration passes the check silently
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            pool.submit(spec_for("b", make_model("m2"),
+                                 cost_units=predicted + 10**6, lint="warn"))
+        pool.run()
+
+    def test_lint_gate_caches_cost_report(self):
+        from repro.lint import CostReport, LintReport
+        from repro.lint.flow import FlowSummary
+        pool = ServicePool(n_machines=1, config=small_config())
+        pool.submit(spec_for("a", make_model("m1"), lint="warn"))
+        (entry,) = pool._lint_cache.values()
+        report, flow, cost = entry
+        assert isinstance(report, LintReport)
+        assert isinstance(flow, FlowSummary)
+        assert isinstance(cost, CostReport)
+        pool.run()
+
+    def test_bad_cost_units_rejected_at_spec(self):
+        with pytest.raises(AppVMError, match="cost_units"):
+            JobSpec(user="a", model=make_model("m"), load_set="case",
+                    cost_units=0)
+
+
 class TestLifecycle:
     def test_states_through_contention(self):
         pool = ServicePool(n_machines=1, config=small_config(), quantum=2000)
