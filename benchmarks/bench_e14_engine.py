@@ -1,11 +1,16 @@
-"""E14 — Fast-engine equivalence and the perf-regression trajectory.
+"""E14 — Engine equivalence and the perf-regression trajectory.
 
-Three tables.  **E14-equivalence** runs every ``repro.perf`` workload
-under both engines and records that results, clocks, final metrics, and
-fem2-ckpt/1 blobs are identical — the safety proof for the calendar
-queue.  **E14-dispatch** times the raw engines on a dispatch-heavy
-synthetic event storm (no numpy, no VM layers), isolating the scheduler
-itself; this is the number ``tests/test_perf_smoke.py`` gates.
+Three tables over the three-engine matrix (reference heapq, fast
+calendar queue, compiled).  **E14-equivalence** runs every
+``repro.perf`` workload under all engines and records that results,
+clocks, final metrics, and fem2-ckpt/1 blobs are identical — the
+safety proof for both fast paths.  **E14-dispatch** times the raw
+engines on a dispatch-heavy synthetic event storm (no numpy, no VM
+layers), isolating the scheduler itself; the compiled engine appears
+twice — interpreting the storm event by event, and replaying it as a
+*flattened dispatch program* (:meth:`CompiledEventEngine.replay`),
+which must land on the identical final clock and event count while
+clearing the ≥3x events/sec bar over the calendar queue.
 **E14-records** re-runs a set of real E-benchmarks under each engine
 and diffs their full record payloads (host times stripped) — the
 cross-engine invariance of the experiment suite's published numbers.
@@ -21,6 +26,7 @@ import time
 from conftest import run_once
 from repro.bench import Experiment
 from repro.hardware.calqueue import FastEventEngine
+from repro.hardware.compiled import CompiledEventEngine
 from repro.hardware.events import EventEngine
 from repro.perf import WORKLOADS, compare_callable, equivalence_report
 
@@ -69,17 +75,37 @@ def drive_engine(engine_cls, n_chains: int = 50, depth: int = 400):
     return dt, eng.events_processed, eng.now
 
 
+def drive_replay(n_chains: int = 50, depth: int = 400):
+    """The same storm as a flattened dispatch program: each chain is one
+    precomputed ``(start, period, count)`` triple the compiled engine
+    replays without materializing events — what ``repro.compile`` emits
+    for statically resolved spawn/burst structures."""
+    eng = CompiledEventEngine()
+    chains = [(c % 5, 2 if c % 2 else 3, depth + 1) for c in range(n_chains)]
+    t0 = time.perf_counter()
+    eng.replay(chains)
+    dt = time.perf_counter() - t0
+    return dt, eng.events_processed, eng.now
+
+
 def time_engines(repeats: int = 5):
-    """Best-of-N dispatch time per engine + sanity-identical outcomes."""
+    """Best-of-N dispatch time per driver + sanity-identical outcomes."""
+    drivers = {
+        "EventEngine": lambda: drive_engine(EventEngine),
+        "FastEventEngine": lambda: drive_engine(FastEventEngine),
+        "CompiledEventEngine": lambda: drive_engine(CompiledEventEngine),
+        "CompiledReplay": drive_replay,
+    }
     out = {}
-    for engine_cls in (EventEngine, FastEventEngine):
-        runs = [drive_engine(engine_cls) for _ in range(repeats)]
+    for name, driver in drivers.items():
+        runs = [driver() for _ in range(repeats)]
         events, clock = runs[0][1], runs[0][2]
         assert all(r[1] == events and r[2] == clock for r in runs)
-        out[engine_cls.__name__] = (min(r[0] for r in runs), events, clock)
+        out[name] = (min(r[0] for r in runs), events, clock)
     ref = out["EventEngine"]
-    fast = out["FastEventEngine"]
-    assert ref[1:] == fast[1:], "engines disagree on the synthetic storm"
+    for name in ("FastEventEngine", "CompiledEventEngine", "CompiledReplay"):
+        assert ref[1:] == out[name][1:], \
+            f"{name} disagrees with the reference on the synthetic storm"
     return out
 
 
@@ -88,7 +114,7 @@ def run_e14():
 
     equiv = Experiment(
         "E14-equivalence",
-        "fast vs reference engine on the repro.perf workload suite",
+        "reference vs fast vs compiled engine on the repro.perf workloads",
     )
     equiv.set_headers(
         "workload", "equal", "clock", "events", "metrics", "ckpt bytes"
@@ -108,14 +134,18 @@ def run_e14():
         )
     equiv.note(
         "equal means identical result, final clock, events_processed, "
-        "flat metrics, and byte-identical fem2-ckpt/1 blob"
+        "flat metrics, and byte-identical fem2-ckpt/1 blob across all "
+        "three engines"
     )
     stats["workloads_equal"] = all_equal
 
     timing = time_engines()
     ref_t, events, clock = timing["EventEngine"]
     fast_t, _, _ = timing["FastEventEngine"]
+    compiled_t, _, _ = timing["CompiledEventEngine"]
+    replay_t, _, _ = timing["CompiledReplay"]
     speedup = ref_t / fast_t if fast_t else float("inf")
+    replay_speedup = fast_t / replay_t if replay_t else float("inf")
     dispatch = Experiment(
         "E14-dispatch",
         "raw scheduler cost on a same-cycle-heavy synthetic event storm",
@@ -125,12 +155,21 @@ def run_e14():
                      int(events / ref_t))
     dispatch.add_row("fast (calendar queue)", round(fast_t, 4), events,
                      int(events / fast_t))
+    dispatch.add_row("compiled (interpreting)", round(compiled_t, 4), events,
+                     int(events / compiled_t))
+    dispatch.add_row("compiled (replay)", round(replay_t, 4), events,
+                     int(events / replay_t))
     dispatch.note(
-        f"speedup {speedup:.2f}x on dispatch; final clock {clock} identical"
+        f"speedup {speedup:.2f}x fast vs reference, {replay_speedup:.2f}x "
+        f"replayed flattened program vs calendar queue; final clock "
+        f"{clock} identical on every row"
     )
     stats["dispatch_speedup"] = speedup
+    stats["dispatch_speedup_compiled"] = replay_speedup
     stats["dispatch_ref_seconds"] = ref_t
     stats["dispatch_fast_seconds"] = fast_t
+    stats["dispatch_compiled_seconds"] = compiled_t
+    stats["dispatch_replay_seconds"] = replay_t
 
     import run_all  # benchmarks/run_all.py (same sys.path entry)
 
@@ -140,7 +179,8 @@ def run_e14():
         "E14-records",
         "published benchmark records re-run under each engine and diffed",
     )
-    records.set_headers("bench", "records equal", "ref seconds", "fast seconds")
+    records.set_headers("bench", "records equal", "ref seconds",
+                        "fast seconds", "compiled seconds")
     records_equal = True
     for key in keys:
         cmp = compare_callable(lambda k=key: scrub_host_columns(run_all.run_bench(k)))
@@ -150,10 +190,11 @@ def run_e14():
             "yes" if cmp["equal"] else "NO: " + "; ".join(cmp["diffs"][:3]),
             round(cmp["reference_seconds"], 3),
             round(cmp["fast_seconds"], 3),
+            round(cmp["compiled_seconds"], 3),
         )
     records.note(
         "records compared after stripping host_seconds; cycle counts, "
-        "metrics, and tables must match exactly"
+        "metrics, and tables must match exactly under all three engines"
     )
     stats["records_equal"] = records_equal
     stats["record_benches"] = list(keys)
@@ -168,3 +209,6 @@ def test_e14_engine(benchmark, experiment_sink):
     assert stats["records_equal"], "engine changed published bench records"
     # the fast path must actually be fast where the scheduler dominates
     assert stats["dispatch_speedup"] > 1.2
+    # the flattened dispatch program must beat interpreting the same
+    # storm on the calendar queue by the ISSUE 9 acceptance margin
+    assert stats["dispatch_speedup_compiled"] > 3.0

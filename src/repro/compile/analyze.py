@@ -1,0 +1,58 @@
+"""Submit-time analysis: turn the flow IR into a :class:`CompiledPlan`.
+
+:func:`compile_program` is the front end of the compiled engine: it
+recovers the registered task bodies' AST facts through
+:func:`repro.lint.registry_tasks`, partitions the types with the P1
+compilability analysis (:mod:`repro.lint.flow.compilable`), and packs
+the resolved spawn routes and burst chains from the ``fem2-flow/1``
+summary into a plan the executor replays.
+
+Task types whose source cannot be recovered (REPL/generated bodies) are
+TOP by definition and fall back to the interpreter — the compiler never
+guesses about code it cannot read.
+"""
+
+from __future__ import annotations
+
+from ..lint import registry_tasks, summarize
+from ..lint.flow import Blocker, task_blockers
+from .plan import CompiledPlan, TaskPlan
+
+__all__ = ["compile_program"]
+
+
+def compile_program(program) -> CompiledPlan:
+    """Specialize a built program's task graph into a compiled plan.
+
+    *program* is any object with a ``runtime.registry``
+    (:class:`~repro.langvm.Fem2Program` in practice).  Pure analysis:
+    nothing is installed on the runtime — see
+    :class:`~repro.compile.executor.CompiledExecutor` for that half.
+    """
+    source = tuple(program.runtime.registry.types())
+    tasks = registry_tasks(program)
+    summary = summarize(tasks)
+    analyzed = {t.name: t for t in tasks}
+    task_plans = {}
+    for name in source:
+        task = analyzed.get(name)
+        if task is None:
+            task_plans[name] = TaskPlan(
+                name, "<unknown>", compilable=False,
+                blockers=(Blocker(
+                    0, "no_source",
+                    "task body source is not recoverable, so the flow "
+                    "analysis returns TOP for everything it does",
+                ),),
+            )
+            continue
+        blockers = tuple(task_blockers(task))
+        task_plans[name] = TaskPlan(
+            name, task.file, compilable=not blockers, blockers=blockers,
+        )
+    return CompiledPlan(
+        source=source,
+        task_plans=task_plans,
+        routes=[dict(r) for r in summary.routes],
+        burst_chains=[dict(b) for b in summary.bursts],
+    )

@@ -1,0 +1,141 @@
+"""The fast-path executor: replay a compiled plan on the runtime.
+
+:class:`CompiledExecutor` is the back end of the compiled engine.  It
+installs itself over a :class:`~repro.sysvm.runtime.Runtime` by
+shadowing the three instance attributes on the burst path — ``_burst``,
+``_continue``, ``start_on_pe`` — and specializes exactly one thing:
+
+* a burst issued by a task type the plan proved compilable, on an idle
+  PE, whose completion nothing pending can interleave with, is **fused**
+  — :meth:`CompiledEventEngine.try_advance
+  <repro.hardware.compiled.CompiledEventEngine.try_advance>` moves the
+  clock straight to the completion cycle and
+  :meth:`~repro.hardware.pe.ProcessingElement.finish_fused` applies the
+  PE accounting inline, with no event ever materialized.  A fixed-length
+  burst chain (the flow IR's fusion unit) thereby collapses into the one
+  engine event that started it.
+
+Everything else — dynamic-target spawns, TOP replication counts, busy
+or faulty PEs, a refused advance — delegates to the untouched reference
+path, so mis-analysis can only cost speed, never correctness.
+
+Two subtleties keep the fused timeline identical to the reference one:
+
+* **Fusion only fires inside a worker-burst completion event.**  The
+  kernel's events do more work *after* the runtime returns —
+  ``_finish_dispatch`` and ``_finish_msg`` both call ``kick()``, which
+  must observe the pre-burst clock.  A ``_continue``-rooted stack is a
+  true tail: once the continuation chain returns, its event is over, so
+  advancing the clock early is unobservable.  ``burst()`` therefore
+  requires the in-tail flag that only :meth:`continue_` sets; bursts
+  issued from ``start_on_pe`` (kernel dispatch) stay on the reference
+  path.
+* **Fused continuations run on a drained trampoline.**  Executing them
+  inside ``burst()`` would nest continuation N's frames under
+  continuation 0's ``_interpret`` try-block, so a strict-mode failure
+  raised three fused steps later would be caught by an earlier step's
+  error handler — an exception path the reference engine does not have.
+  Instead ``burst()`` only *captures* the ready continuation and
+  :meth:`continue_` drains captured work after the original frames have
+  unwound, so each fused continuation runs on the same clean stack
+  depth it would have had as a real completion event.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigurationError
+from ..hardware.compiled import CompiledEventEngine
+from ..hardware.pe import PEState
+from .plan import CompiledPlan
+
+__all__ = ["CompiledExecutor"]
+
+
+class CompiledExecutor:
+    """Install a plan's fast path onto one runtime."""
+
+    def __init__(self, runtime, plan: CompiledPlan) -> None:
+        engine = runtime.machine.engine
+        if not isinstance(engine, CompiledEventEngine):
+            raise ConfigurationError(
+                "CompiledExecutor needs a compiled engine; build the "
+                "machine with MachineConfig(engine='compiled')"
+            )
+        self.runtime = runtime
+        self.plan = plan
+        self.engine = engine
+        self._fused_types = plan.fused_types
+        #: continuations captured by fused bursts, run by :meth:`_drain`
+        #: once the current event's frames have unwound
+        self._ready: List = []
+        #: True only while inside a worker-burst completion event — the
+        #: one place where nothing runs after the continuation chain, so
+        #: advancing the clock early cannot be observed
+        self._in_tail = False
+        #: host-side diagnostic only — never a simulated metric (metrics
+        #: must stay byte-identical to the reference engine's)
+        self.fused_bursts = 0
+        # originals resolved through the class, so re-installation after
+        # a plan refresh never chains through a stale executor's wrappers
+        cls = type(runtime)
+        self._orig_burst = cls._burst.__get__(runtime)
+        self._orig_continue = cls._continue.__get__(runtime)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self) -> "CompiledExecutor":
+        """Shadow the runtime's burst path with the fast path."""
+        rt = self.runtime
+        rt._burst = self.burst
+        rt._continue = self.continue_
+        rt.compiled_executor = self
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the interpreter's burst path (class attributes)."""
+        rt = self.runtime
+        for name in ("_burst", "_continue", "compiled_executor"):
+            rt.__dict__.pop(name, None)
+
+    # -- the fast path -----------------------------------------------------
+
+    def burst(self, tcb, cycles: int, cont) -> None:
+        """Fuse the burst when the plan and the engine both allow it;
+        otherwise charge it through the reference path unchanged."""
+        pe = tcb.pe
+        if (
+            self._in_tail
+            and tcb.task_type in self._fused_types
+            and pe is not None
+            and pe.state is PEState.IDLE
+            and cycles >= 0
+        ):
+            start = self.engine.now
+            if self.engine.try_advance(start + int(cycles)):
+                pe.finish_fused(cycles, start)
+                self.fused_bursts += 1
+                tcb.cont = cont
+                self._ready.append(tcb)
+                return
+        self._orig_burst(tcb, cycles, cont)
+
+    # -- the trampoline ----------------------------------------------------
+
+    def continue_(self, tcb) -> None:
+        """Worker-burst completion: reference dispatch, then drain."""
+        self._in_tail = True
+        try:
+            self._orig_continue(tcb)
+            self._drain()
+        finally:
+            self._in_tail = False
+
+    def _drain(self) -> None:
+        """Run captured continuations on a clean stack.  Each may fuse
+        further bursts, re-filling the list — a whole chain drains here
+        within the single engine event that started it."""
+        ready = self._ready
+        while ready:
+            self._orig_continue(ready.pop())

@@ -1,0 +1,116 @@
+"""The compiled plan: what submit-time specialization decided.
+
+A :class:`CompiledPlan` is the ``fem2-plan/1`` artifact produced by
+:func:`repro.compile.compile_program`: per registered task type, whether
+the backend may specialize it (fuse its fixed-length burst chains into
+single engine events) or must leave it on the interpreter, with the
+blocking constructs recorded as :class:`~repro.lint.flow.Blocker`
+values.  The plan also carries the flow IR's resolved artifacts — the
+static spawn/message routes and the fixed-length burst chains — which
+is what the executor replays instead of re-deriving dispatch facts per
+event.
+
+Plans are keyed by their *source*: the registry's type tuple at compile
+time.  Registering another task invalidates the plan, and the service
+pool's plan cache (:class:`repro.appvm.scheduler.ServicePool`) uses the
+same key to share one plan across a model's whole job stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Tuple
+
+from ..lint import Finding
+from ..lint.flow import Blocker
+
+SCHEMA = "fem2-plan/1"
+
+__all__ = ["SCHEMA", "CompiledPlan", "TaskPlan"]
+
+
+@dataclass(frozen=True)
+class TaskPlan:
+    """One task type's compilation outcome."""
+
+    name: str
+    file: str
+    compilable: bool
+    blockers: Tuple[Blocker, ...] = ()
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "compilable": self.compilable,
+            "blockers": [
+                {"line": b.line, "kind": b.kind, "detail": b.detail}
+                for b in self.blockers
+            ],
+        }
+
+
+@dataclass
+class CompiledPlan:
+    """The whole program's specialization decision set."""
+
+    #: registry type tuple the plan was compiled from — the cache key;
+    #: a registry whose types() differ needs recompilation
+    source: Tuple[str, ...]
+    task_plans: Dict[str, TaskPlan] = field(default_factory=dict)
+    #: static spawn routes (``fem2-flow/1`` rows; dst "*" = dynamic)
+    routes: List[Dict[str, Any]] = field(default_factory=list)
+    #: statically discovered fixed-length burst chains per task — the
+    #: fusion units the executor collapses into single engine events
+    burst_chains: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def fused_types(self) -> FrozenSet[str]:
+        """Task types the fast-path executor may fuse."""
+        return frozenset(
+            name for name, tp in self.task_plans.items() if tp.compilable
+        )
+
+    @property
+    def fallback_types(self) -> FrozenSet[str]:
+        return frozenset(
+            name for name, tp in self.task_plans.items() if not tp.compilable
+        )
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of task types fully compiled (1.0 = whole program)."""
+        if not self.task_plans:
+            return 1.0
+        return len(self.fused_types) / len(self.task_plans)
+
+    def findings(self) -> List[Finding]:
+        """P1 warnings for every blocking construct (why a task type is
+        interpreted), in canonical (file, line) order."""
+        out: List[Finding] = []
+        for name in sorted(self.task_plans):
+            tp = self.task_plans[name]
+            for b in tp.blockers:
+                out.append(Finding(
+                    "P1",
+                    f"not fully compilable — {b.detail}; this task type "
+                    f"falls back to the interpreter under the compiled "
+                    f"engine",
+                    tp.file, b.line, severity="warning", task=name,
+                ))
+        return sorted(out, key=lambda f: (f.file, f.line, f.task or ""))
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "source": list(self.source),
+            "tasks": [
+                self.task_plans[n].to_record() for n in sorted(self.task_plans)
+            ],
+            "routes": [dict(r) for r in self.routes],
+            "burst_chains": [dict(b) for b in self.burst_chains],
+            "counts": {
+                "types": len(self.task_plans),
+                "fused": len(self.fused_types),
+                "fallback": len(self.fallback_types),
+            },
+        }

@@ -22,7 +22,6 @@ every benchmark that uses these drivers asserts that equivalence.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -37,7 +36,20 @@ from .materials import Material
 from .mesh import Mesh
 from .partition import Subdomain, interface_dofs, partition_strips
 
-_uid = itertools.count(1)
+def _fresh_uid(program: Fem2Program, *prefixes: str) -> int:
+    """Smallest suffix making ``{prefix}.{n}`` unused on *program*.
+
+    Task-type names enter simulated message payloads, so their length
+    is charged by the cost model: deriving the suffix from the
+    program's own registry (instead of a host-global counter) keeps
+    simulated cycles a function of the workload alone, not of how many
+    solves ran earlier in the host process.
+    """
+    types = set(program.runtime.registry.types())
+    n = 1
+    while any(f"{p}.{n}" in types for p in prefixes):
+        n += 1
+    return n
 
 
 def _mat_tuple(m: Material) -> tuple:
@@ -164,7 +176,7 @@ def register_parallel_cg(
     payloads = [_worker_payload(mesh, material, s, fixed) for s in subs]
     limit = 4 * n if max_iter is None else max_iter
     if worker_name is None or root_name is None:
-        uid = next(_uid)
+        uid = _fresh_uid(program, "fem.cg_worker", "fem.cg_root")
         worker_name = worker_name or f"fem.cg_worker.{uid}"
         root_name = root_name or f"fem.cg_root.{uid}"
     program.define(worker_name, _cg_worker, code_words=512, locals_words=256)
@@ -387,7 +399,7 @@ def parallel_substructure_solve(
         )
         payloads.append(payload)
 
-    uid = next(_uid)
+    uid = _fresh_uid(program, "fem.sub_worker", "fem.sub_root")
     worker_name = f"fem.sub_worker.{uid}"
     root_name = f"fem.sub_root.{uid}"
     program.define(worker_name, _sub_worker, code_words=640, locals_words=512)
@@ -496,7 +508,7 @@ def parallel_stress_recovery(
         raise FEMError(f"u has {u.shape[0]} dofs, mesh has {mesh.n_dofs}")
     payloads = [_worker_payload(mesh, material, s, np.zeros(0, dtype=int))
                 for s in subs]
-    uid = next(_uid)
+    uid = _fresh_uid(program, "fem.stress_worker", "fem.stress_root")
     worker_name = f"fem.stress_worker.{uid}"
     root_name = f"fem.stress_root.{uid}"
     program.define(worker_name, _stress_worker, code_words=384, locals_words=128)
@@ -552,7 +564,7 @@ def parallel_power_iteration(
     n = mesh.n_dofs
     fixed = constraints.fixed_dofs
     payloads = [_worker_payload(mesh, material, s, fixed) for s in subs]
-    uid = next(_uid)
+    uid = _fresh_uid(program, "fem.pw_worker", "fem.pw_root")
     worker_name = f"fem.pw_worker.{uid}"
     root_name = f"fem.pw_root.{uid}"
     program.define(worker_name, _cg_worker, code_words=512, locals_words=256)

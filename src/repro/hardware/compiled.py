@@ -1,0 +1,225 @@
+"""The compiled simulation engine: calendar queue + burst fusion.
+
+:class:`CompiledEventEngine` extends the calendar-queue fast engine
+with the one capability the submit-time compiler (:mod:`repro.compile`)
+needs from the hardware layer: **fusing a burst completion into the
+current dispatch**.  When the runtime's fast-path executor knows the
+next thing that can possibly happen is the completion of the burst it
+is about to issue, it asks :meth:`try_advance` to move the clock there
+directly — no Event allocation, no bucket append, no pop — and then
+runs the continuation inline.  A whole fixed-length chain of bursts
+(read → compute → write → ...) collapses into the single engine event
+that started it.
+
+Fusion is *observationally invisible*.  ``try_advance`` succeeds only
+when no pending event (cancelled or not) is due at or before the
+fused completion time, so nothing could have interleaved; it then
+performs exactly the bookkeeping dispatching the real completion event
+would have: clock to the completion time, ``events_processed`` +1, one
+sequence number consumed (the one :meth:`schedule` would have taken at
+burst start), the same budget charge, and the same aggregate-only
+``hw.event`` tracer point.  Dispatch order, clocks, event counts,
+metrics, traces, and checkpoint blobs all match the reference engine
+byte for byte; ``repro.perf`` and ``tests/test_engine_equivalence.py``
+enforce it across the three-engine matrix.
+
+Fusion is armed only inside :meth:`run`.  :meth:`step` never fuses, so
+drivers that need between-event safe points — the checkpointer, the
+service pool's quantum scheduler — see the exact per-event behaviour
+of the other engines.
+
+:meth:`replay` is the engine's second specialization: it executes a
+*flattened dispatch program* — periodic event chains proven independent
+by static analysis — without materializing any events at all, which is
+what the E14 raw-dispatch benchmark measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from .calqueue import FastEventEngine
+
+__all__ = ["CompiledEventEngine"]
+
+
+class CompiledEventEngine(FastEventEngine):
+    """Calendar-queue engine with an inline burst-fusion fast path.
+
+    Without a :class:`repro.compile.CompiledExecutor` driving
+    :meth:`try_advance`, this engine behaves exactly like
+    :class:`~repro.hardware.calqueue.FastEventEngine` — fusion is a
+    capability, not a behaviour change.
+    """
+
+    __slots__ = ("_fusing", "_until", "_fuel")
+
+    #: base exemptions plus the fusion state, which is live only inside
+    #: run() (reset in its finally) and so never checkpointable
+    _snapshot_exempt = ("tracer", "_buckets", "_times",
+                        "_fusing", "_until", "_fuel")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: True only inside :meth:`run` — step() must stay per-event so
+        #: checkpoint/quantum drivers keep their safe points
+        self._fusing = False
+        #: run(until=...) bound, honoured by try_advance
+        self._until: Optional[int] = None
+        #: remaining max_events budget (None = unlimited); a fused
+        #: completion charges it exactly like a dispatched event
+        self._fuel: Optional[int] = None
+
+    # -- fusion ------------------------------------------------------------
+
+    def _next_time(self) -> Optional[int]:
+        """Earliest cycle with any queued event (cancelled included),
+        pruning empty buckets like :meth:`_next_bucket`."""
+        times = self._times
+        buckets = self._buckets
+        while times:
+            if buckets.get(times[0]):
+                return times[0]
+            del buckets[times[0]]
+            heapq.heappop(times)
+        return None
+
+    def try_advance(self, end: int) -> bool:
+        """Fuse a burst completing at cycle *end* into the current
+        dispatch, if nothing else could run first.
+
+        On success the engine is in exactly the state it would be after
+        scheduling the completion at *end* and dispatching it: ``now``
+        is *end*, one event processed, one seq consumed, budget charged,
+        tracer point emitted.  On refusal nothing changes and the caller
+        must schedule the burst normally.
+        """
+        if not self._fusing or self.halted:
+            return False
+        if self._fuel is not None and self._fuel <= 0:
+            return False
+        if self._until is not None and end > self._until:
+            return False
+        nxt = self._next_time()
+        if nxt is not None and nxt <= end:
+            return False
+        self.now = end
+        self._seq += 1  # the seq schedule() would have taken at burst start
+        self.events_processed += 1
+        if self._fuel is not None:
+            self._fuel -= 1
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            # mirror of the completion event's dispatch point
+            tracer.point(
+                "hw.event", "ProcessingElement._finish", end,
+                aggregate_only=True,
+            )
+        return True
+
+    # -- dispatch ----------------------------------------------------------
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """The fast engine's run loop with fusion armed.
+
+        Identical control flow to
+        :meth:`FastEventEngine.run <repro.hardware.calqueue.FastEventEngine.run>`,
+        except the ``until``/``max_events`` bounds are published so
+        :meth:`try_advance` can honour them mid-handler, and the
+        processed count is taken from ``events_processed`` (fused
+        completions count as processed events, exactly as their
+        dispatched twins would).
+        """
+        start_count = self.events_processed
+        self._fusing = True
+        self._until = until
+        self._fuel = max_events
+        try:
+            while not self.halted:
+                bucket = self._next_bucket()
+                if bucket is None:
+                    break
+                if self._fuel is not None and self._fuel <= 0:
+                    break
+                t = self._times[0]
+                if until is not None and t > until:
+                    self.now = until
+                    break
+                while bucket:
+                    ev = bucket.popleft()
+                    if ev.cancelled:
+                        continue
+                    self.now = t
+                    self.events_processed += 1
+                    if self._fuel is not None:
+                        self._fuel -= 1
+                    tracer = self.tracer
+                    if tracer is not None and tracer.enabled:
+                        tracer.point(
+                            "hw.event",
+                            getattr(ev.fn, "__qualname__", "event"),
+                            t,
+                            aggregate_only=True,
+                        )
+                    ev.fn(*ev.args)
+                    if self.halted:
+                        break
+                    if self._fuel is not None and self._fuel <= 0:
+                        break
+        finally:
+            self._fusing = False
+            self._until = None
+            self._fuel = None
+        if until is not None and self.now < until and not self._buckets:
+            self.now = until
+        return self.events_processed - start_count
+
+    # -- flattened dispatch programs ---------------------------------------
+
+    def replay(self, chains: Sequence[Tuple[int, int, int]]) -> int:
+        """Execute a flattened dispatch program: periodic event chains.
+
+        Each chain is ``(start, period, count)`` — *count* dispatches at
+        cycles ``start, start + period, ...`` (relative to ``now``),
+        the shape :mod:`repro.compile` emits for statically resolved
+        spawn/burst structures.  The chains were proven independent at
+        compile time, so no events are materialized: the engine merges
+        the chains' precomputed schedules (time-major, chain order
+        within a cycle) and advances clock and counters per dispatch.
+        The final ``now`` and ``events_processed`` are identical to
+        interpreting the same chains event by event.
+
+        Requires an empty queue (a replay cannot interleave with
+        dynamically scheduled events) and consumes one seq per dispatch,
+        like the schedule calls it replaces.
+        """
+        if self._next_bucket() is not None:
+            raise SimulationError("replay needs an idle engine")
+        heap: List[Tuple[int, int, int, int]] = []
+        for idx, (start, period, count) in enumerate(chains):
+            if count < 0 or period < 0 or start < 0:
+                raise SimulationError(
+                    f"bad chain ({start}, {period}, {count}): all fields "
+                    "must be non-negative"
+                )
+            if count:
+                heap.append((self.now + start, idx, count - 1, period))
+        heapq.heapify(heap)
+        replace = heapq.heapreplace
+        pop = heapq.heappop
+        now = self.now
+        n = 0
+        while heap:
+            t, idx, left, period = heap[0]
+            now = t
+            n += 1
+            if left:
+                replace(heap, (t + period, idx, left - 1, period))
+            else:
+                pop(heap)
+        self.now = now
+        self.events_processed += n
+        self._seq += n
+        return n

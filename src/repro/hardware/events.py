@@ -22,26 +22,39 @@ from ..errors import ConfigurationError, SimulationError
 
 #: recognised engine kinds; "default" resolves through
 #: :func:`resolve_engine` (module override, then environment, then fast)
-ENGINES = ("default", "reference", "fast")
+ENGINES = ("default", "reference", "fast", "compiled")
+
+#: the kinds a config/env/override may name directly (everything but
+#: the "default" placeholder)
+CONCRETE_ENGINES = ("reference", "fast", "compiled")
 
 #: what ``engine="default"`` means when nothing overrides it.  The fast
 #: calendar-queue engine (:mod:`repro.hardware.calqueue`) is the
-#: production path; the reference heapq engine below stays the oracle.
+#: production path; the reference heapq engine below stays the oracle,
+#: and the compiled engine (:mod:`repro.hardware.compiled`) is the
+#: opt-in burst-fusing specialization backend.
 DEFAULT_ENGINE = "fast"
 
 #: process-wide override installed by :func:`forced_engine`; None means
 #: "no override".  The equivalence harness (repro.perf) uses this to run
-#: unmodified benchmarks under either engine.
+#: unmodified benchmarks under any engine.
 _FORCED: Optional[str] = None
 
 
 def resolve_engine(kind: str) -> str:
     """Resolve a :class:`MachineConfig` engine field to a concrete kind.
 
-    Priority: a :func:`forced_engine` override wins over everything
-    (including explicit configs — that is the point of the harness);
-    then an explicit ``"reference"``/``"fast"``; then the
-    ``FEM2_ENGINE`` environment variable; then :data:`DEFAULT_ENGINE`.
+    Override order, strongest first (documented in DESIGN.md §13):
+
+    1. a :func:`forced_engine` override — wins over everything,
+       including explicit configs (that is the point of the harness);
+    2. an explicit ``"reference"``/``"fast"``/``"compiled"`` config;
+    3. the ``FEM2_ENGINE`` environment variable;
+    4. :data:`DEFAULT_ENGINE`.
+
+    An unknown ``FEM2_ENGINE`` value raises :class:`ConfigurationError`
+    rather than silently falling back — a typo like ``FEM2_ENGINE=ref``
+    must not masquerade as a default-engine run.
     """
     if kind not in ENGINES:
         raise ConfigurationError(
@@ -52,9 +65,13 @@ def resolve_engine(kind: str) -> str:
     if kind != "default":
         return kind
     env = os.environ.get("FEM2_ENGINE", "").strip().lower()
-    if env in ("reference", "fast"):
-        return env
-    return DEFAULT_ENGINE
+    if not env:
+        return DEFAULT_ENGINE
+    if env not in CONCRETE_ENGINES:
+        raise ConfigurationError(
+            f"unknown FEM2_ENGINE value {env!r}; one of {CONCRETE_ENGINES}"
+        )
+    return env
 
 
 @contextlib.contextmanager
@@ -62,13 +79,13 @@ def forced_engine(kind: str) -> Iterator[None]:
     """Force every machine built inside the block onto one engine.
 
     The A/B half of the equivalence harness: the same workload code,
-    run twice under ``forced_engine("reference")`` and
-    ``forced_engine("fast")``, must produce identical final metrics,
-    clocks, and checkpoint blobs.
+    run under ``forced_engine("reference")``, ``forced_engine("fast")``,
+    and ``forced_engine("compiled")``, must produce identical final
+    metrics, clocks, and checkpoint blobs.
     """
-    if kind not in ("reference", "fast"):
+    if kind not in CONCRETE_ENGINES:
         raise ConfigurationError(
-            f"forced_engine needs 'reference' or 'fast', got {kind!r}"
+            f"forced_engine needs one of {CONCRETE_ENGINES}, got {kind!r}"
         )
     global _FORCED
     prev = _FORCED

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..errors import ConfigurationError, FaultError, RoutingError
 from .calqueue import FastEventEngine
 from .cluster import Cluster
+from .compiled import CompiledEventEngine
 from .events import ENGINES, EventEngine, resolve_engine
 from .metrics import MetricsRegistry
 from .network import TOPOLOGIES, Network
@@ -44,8 +45,10 @@ class MachineConfig:
     flop_cycles: int = 1            # cycles per floating-point operation
     word_touch_cycles: int = 1      # cycles per word moved within a cluster
     #: simulation engine: "reference" (heapq oracle), "fast" (calendar
-    #: queue), or "default" (FEM2_ENGINE env var, then fast).  Both
-    #: engines are observationally identical; see repro.perf.
+    #: queue), "compiled" (calendar queue + burst fusion driven by the
+    #: repro.compile submit-time specializer), or "default" (FEM2_ENGINE
+    #: env var, then fast).  All engines are observationally identical;
+    #: see repro.perf and DESIGN.md §13.
     engine: str = "default"
 
     def validate(self) -> None:
@@ -95,7 +98,15 @@ class Machine:
         config.validate()
         self.config = config
         kind = resolve_engine(config.engine)
-        self.engine = FastEventEngine() if kind == "fast" else EventEngine()
+        #: the concrete engine kind actually running (after override
+        #: resolution) — the langvm program keys plan compilation on it
+        self.engine_kind = kind
+        if kind == "fast":
+            self.engine = FastEventEngine()
+        elif kind == "compiled":
+            self.engine = CompiledEventEngine()
+        else:
+            self.engine = EventEngine()
         self.metrics = MetricsRegistry()
         #: span tracer shared by every layer running on this machine
         #: (duck-typed: a repro.obs.Tracer, or None for zero-cost off)

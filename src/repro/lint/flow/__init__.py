@@ -27,6 +27,12 @@ per-task syntactic scans; this subpackage gives them a real middle end:
 from __future__ import annotations
 
 from .checks import check_d2, check_flow, check_w2_flow, check_w3, check_x1
+from .compilable import (
+    Blocker,
+    check_compilable,
+    compilable_split,
+    task_blockers,
+)
 from .dataflow import TaskSummary, interpret_task, summarize_tasks
 from .ir import Edge, Node, TaskGraph, build_graph, task_index
 from .soundness import SoundnessResult, check_soundness, observed_edges
@@ -34,6 +40,7 @@ from .summary import FLOW_SCHEMA, FlowSummary, summarize
 
 __all__ = [
     "FLOW_SCHEMA",
+    "Blocker",
     "Edge",
     "FlowSummary",
     "Node",
@@ -41,8 +48,11 @@ __all__ = [
     "TaskGraph",
     "TaskSummary",
     "build_graph",
+    "check_compilable",
     "check_d2",
     "check_flow",
+    "compilable_split",
+    "task_blockers",
     "check_soundness",
     "check_w2_flow",
     "check_w3",

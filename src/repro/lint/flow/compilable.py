@@ -1,0 +1,133 @@
+"""P1 — which task types the submit-time compiler can specialize.
+
+The :mod:`repro.compile` backend replays a task only when every fact it
+needs is statically resolved; anything the flow analysis returns as TOP
+forces that task type back onto the interpreter.  Exactly two constructs
+are blocking, and each maps to one :class:`Blocker`:
+
+* a **dynamic spawn target** — ``ctx.initiate(task_type_var, ...)``
+  where the type is a runtime value, so no static route exists for the
+  INITIATE messages;
+* an **unresolved replication count** — a spawn count that is neither a
+  literal nor a single unclobbered local bound to a literal int, so the
+  fan-out shape (and the burst-chain length behind it) is TOP.
+
+:func:`check_compilable` renders the blockers as P1 *warnings*: an
+interpreted task is slower, never wrong, so P1 is advisory — surfaced
+by the compile pipeline and the service pool when a compiled-engine job
+falls back, not by the default lint rule set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..astutil import TaskInfo
+from ..findings import Finding
+
+__all__ = ["Blocker", "check_compilable", "compilable_split", "task_blockers"]
+
+#: event kinds that (re)bind local names — a count binding is trusted
+#: only when every def touching it is a ``const`` with one value
+_DEF_KINDS = ("initiate", "subcall", "assign", "assign_empty", "const",
+              "augment", "clobber", "window")
+
+
+@dataclass(frozen=True)
+class Blocker:
+    """One construct that keeps a task type on the interpreter."""
+
+    line: int
+    kind: str       # "dynamic_target" | "top_count"
+    detail: str     # human-readable, names the construct
+
+    def __str__(self) -> str:
+        return f"line {self.line}: {self.detail}"
+
+
+def _const_binding(task: TaskInfo, name: str) -> Tuple[bool, object]:
+    """(resolved, value) for a bare-name replication count.
+
+    Resolved iff at least one ``const`` event binds *name* and every
+    other def event leaves it alone — a name that is also rebound by an
+    assign/clobber/augment (or aliases tids, windows, subcall results)
+    may hold anything by the time the spawn runs, so it is TOP.
+    """
+    values = set()
+    for ev in task.events:
+        if ev.kind not in _DEF_KINDS or name not in ev.names:
+            continue
+        if ev.kind != "const" or ev.value is None:
+            return False, None
+        values.add(ev.value)
+    if len(values) == 1:
+        return True, values.pop()
+    return False, None
+
+
+def task_blockers(task: TaskInfo) -> List[Blocker]:
+    """Every construct in *task* the compiler cannot specialize."""
+    out: List[Blocker] = []
+    for site in task.initiates:
+        if site.task_type is None:
+            named = (f" ({site.task_type_name!r} is a runtime value)"
+                     if site.task_type_name else "")
+            out.append(Blocker(
+                site.line, "dynamic_target",
+                f"dynamic spawn target{named}: no static route for the "
+                f"INITIATE messages",
+            ))
+            continue
+        if site.count is not None:
+            continue
+        if site.count_name is None:
+            out.append(Blocker(
+                site.line, "top_count",
+                f"replication count of {site.task_type!r} spawn is a "
+                f"computed expression (TOP)",
+            ))
+            continue
+        resolved, _ = _const_binding(task, site.count_name)
+        if not resolved:
+            out.append(Blocker(
+                site.line, "top_count",
+                f"replication count {site.count_name!r} of "
+                f"{site.task_type!r} spawn does not resolve to a single "
+                f"literal (TOP)",
+            ))
+    return out
+
+
+def compilable_split(tasks: List[TaskInfo]) \
+        -> Tuple[List[str], Dict[str, List[Blocker]]]:
+    """Partition a task set for the compiler.
+
+    Returns ``(compilable, blocked)``: the task-type names the backend
+    may specialize, and a name → blockers map for the rest (the P1
+    evidence).  Names follow the registered type, falling back to the
+    function name for unregistered helpers.
+    """
+    compilable: List[str] = []
+    blocked: Dict[str, List[Blocker]] = {}
+    for task in tasks:
+        blockers = task_blockers(task)
+        if blockers:
+            blocked[task.name] = blockers
+        else:
+            compilable.append(task.name)
+    return compilable, blocked
+
+
+def check_compilable(tasks: List[TaskInfo]) -> List[Finding]:
+    """P1 findings: one warning per blocking construct, anchored to it."""
+    findings: List[Finding] = []
+    for task in tasks:
+        for b in task_blockers(task):
+            findings.append(Finding(
+                "P1",
+                f"not fully compilable — {b.detail}; this task type "
+                f"falls back to the interpreter under the compiled engine",
+                task.file, b.line, severity="warning", task=task.name,
+            ))
+    return findings

@@ -28,10 +28,14 @@ ALLOWED: Dict[str, Set[str]] = {
     "lint": {"obs"},
     "hardware": {"obs"},
     "sysvm": {"hardware", "obs"},
-    "langvm": {"sysvm", "hardware", "obs"},
+    "langvm": {"sysvm", "hardware", "obs", "compile"},
     "fem": {"langvm", "sysvm", "hardware", "obs"},
     "appvm": {"fem", "langvm", "sysvm", "hardware", "hgraph", "obs", "lint",
-              "ckpt"},
+              "ckpt", "compile"},
+    # compile is the submit-time specializer: it reads lint's flow facts
+    # and installs a fast-path executor over sysvm/hardware, so it sits
+    # between lint and the language layer (langvm hooks it at start())
+    "compile": {"lint", "sysvm", "hardware", "obs"},
     "core": {"hgraph"},
     "ckpt": set(),
     "analysis": {"fem", "hardware", "sysvm", "obs"},

@@ -4,8 +4,8 @@ A *workload* is a zero-argument callable that builds a program, runs it
 to completion, and returns ``(program, result)`` — the harness forces
 the engine choice around the whole call via
 :func:`repro.hardware.events.forced_engine`, so workload code never
-mentions engines.  From each run it captures the four observables the
-fast engine must preserve:
+mentions engines.  From each run it captures the four observables every
+engine must preserve:
 
 * the workload's own **result** value,
 * the final simulated **clock** and **events_processed** count,
@@ -14,8 +14,13 @@ fast engine must preserve:
   was built with ``journal=True``; otherwise blob comparison is skipped
   and the caller may require it via ``require_ckpt``).
 
+The engine matrix defaults to every concrete engine
+(:data:`repro.hardware.events.CONCRETE_ENGINES` — reference, fast,
+compiled); each engine is diffed against the first, which serves as the
+baseline.
+
 :func:`compare_callable` is the coarser instrument for benchmark
-records: it runs any function under both engines and diffs the
+records: it runs any function under each engine and diffs the
 JSON-like return values after stripping host-time fields — this is how
 ``bench_e14_engine.py`` proves the E1–E13 records are engine-invariant.
 """
@@ -24,11 +29,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ckpt.codec import to_bytes
 from ..errors import CkptError
-from ..hardware.events import forced_engine
+from ..hardware.events import CONCRETE_ENGINES, forced_engine
 
 #: record keys that legitimately differ between runs (host wall-clock);
 #: :func:`strip_volatile` removes them at any nesting depth before a diff
@@ -94,61 +99,77 @@ def _values_equal(a: Any, b: Any) -> bool:
         return repr(a) == repr(b)
 
 
-def equivalence_report(
-    workload: Callable[[], Tuple[Any, Any]],
-    require_ckpt: bool = False,
-) -> Dict[str, Any]:
-    """Run *workload* under both engines and diff the observables.
-
-    Returns ``{"equal", "mismatches", "reference", "fast"}`` where
-    ``mismatches`` is a list of human-readable difference descriptions
-    (empty when the engines agree).
-    """
-    ref = run_workload("reference", workload)
-    fast = run_workload("fast", workload)
+def _diff_runs(ref: EngineRun, other: EngineRun,
+               require_ckpt: bool) -> List[str]:
+    """Human-readable observable differences of *other* vs baseline."""
+    a, b = ref.engine, other.engine
     mismatches: List[str] = []
-    if not _values_equal(ref.result, fast.result):
+    if not _values_equal(ref.result, other.result):
         mismatches.append(
-            f"result: reference={ref.result!r} fast={fast.result!r}"
+            f"result: {a}={ref.result!r} {b}={other.result!r}"
         )
-    if ref.clock != fast.clock:
-        mismatches.append(f"clock: reference={ref.clock} fast={fast.clock}")
-    if ref.events != fast.events:
+    if ref.clock != other.clock:
+        mismatches.append(f"clock: {a}={ref.clock} {b}={other.clock}")
+    if ref.events != other.events:
         mismatches.append(
-            f"events_processed: reference={ref.events} fast={fast.events}"
+            f"events_processed: {a}={ref.events} {b}={other.events}"
         )
-    if ref.metrics != fast.metrics:
-        keys = sorted(set(ref.metrics) | set(fast.metrics))
-        for k in keys:
-            a, b = ref.metrics.get(k), fast.metrics.get(k)
-            if a != b:
-                mismatches.append(f"metric {k}: reference={a} fast={b}")
-    if ref.ckpt is None or fast.ckpt is None:
+    if ref.metrics != other.metrics:
+        for k in sorted(set(ref.metrics) | set(other.metrics)):
+            x, y = ref.metrics.get(k), other.metrics.get(k)
+            if x != y:
+                mismatches.append(f"metric {k}: {a}={x} {b}={y}")
+    if ref.ckpt is None or other.ckpt is None:
         if require_ckpt:
             mismatches.append(
                 "checkpoint blob unavailable (build the workload program "
                 "with journal=True to compare fem2-ckpt/1 blobs)"
             )
-    elif ref.ckpt != fast.ckpt:
+    elif ref.ckpt != other.ckpt:
         mismatches.append(
-            f"checkpoint blob: {len(ref.ckpt)} vs {len(fast.ckpt)} bytes, "
-            "contents differ"
+            f"checkpoint blob: {a} {len(ref.ckpt)} vs {b} "
+            f"{len(other.ckpt)} bytes, contents differ"
         )
-    return {
+    return mismatches
+
+
+def equivalence_report(
+    workload: Callable[[], Tuple[Any, Any]],
+    require_ckpt: bool = False,
+    engines: Sequence[str] = CONCRETE_ENGINES,
+) -> Dict[str, Any]:
+    """Run *workload* under every engine and diff the observables.
+
+    The first engine in *engines* is the baseline each of the others is
+    compared against.  Returns ``{"equal", "mismatches", "runs"}`` plus
+    one :class:`EngineRun` entry per engine kind, where ``mismatches``
+    is a list of human-readable difference descriptions (empty when the
+    whole matrix agrees).
+    """
+    runs = {kind: run_workload(kind, workload) for kind in engines}
+    ref = runs[engines[0]]
+    mismatches: List[str] = []
+    for kind in engines[1:]:
+        mismatches.extend(_diff_runs(ref, runs[kind], require_ckpt))
+    report: Dict[str, Any] = {
         "equal": not mismatches,
         "mismatches": mismatches,
-        "reference": ref,
-        "fast": fast,
+        "runs": runs,
     }
+    report.update(runs)
+    return report
 
 
 def assert_equivalent(
     workload: Callable[[], Tuple[Any, Any]],
     require_ckpt: bool = False,
     label: str = "workload",
+    engines: Sequence[str] = CONCRETE_ENGINES,
 ) -> Dict[str, Any]:
     """:func:`equivalence_report`, raising ``AssertionError`` on any diff."""
-    report = equivalence_report(workload, require_ckpt=require_ckpt)
+    report = equivalence_report(
+        workload, require_ckpt=require_ckpt, engines=engines
+    )
     if not report["equal"]:
         detail = "\n  ".join(report["mismatches"])
         raise AssertionError(
@@ -199,24 +220,25 @@ def diff_values(a: Any, b: Any, path: str = "$") -> List[str]:
 def compare_callable(
     fn: Callable[[], Any],
     keys: Tuple[str, ...] = VOLATILE_KEYS,
+    engines: Sequence[str] = CONCRETE_ENGINES,
 ) -> Dict[str, Any]:
     """Run *fn* once per engine; diff its return values (volatile keys
-    stripped).  Returns ``{"equal", "diffs", "reference_seconds",
-    "fast_seconds", "reference", "fast"}``."""
-    t0 = time.perf_counter()
-    with forced_engine("reference"):
-        ref = fn()
-    t1 = time.perf_counter()
-    with forced_engine("fast"):
-        fast = fn()
-    t2 = time.perf_counter()
-    ref_s, fast_s = strip_volatile(ref, keys), strip_volatile(fast, keys)
-    diffs = diff_values(ref_s, fast_s)
-    return {
-        "equal": not diffs,
-        "diffs": diffs,
-        "reference_seconds": t1 - t0,
-        "fast_seconds": t2 - t1,
-        "reference": ref_s,
-        "fast": fast_s,
-    }
+    stripped) against the first engine's.  Returns ``{"equal",
+    "diffs"}`` plus, per engine kind, its stripped value under
+    ``<kind>`` and its wall-clock under ``<kind>_seconds``."""
+    out: Dict[str, Any] = {}
+    values: Dict[str, Any] = {}
+    for kind in engines:
+        t0 = time.perf_counter()
+        with forced_engine(kind):
+            value = fn()
+        out[f"{kind}_seconds"] = time.perf_counter() - t0
+        values[kind] = out[kind] = strip_volatile(value, keys)
+    baseline = values[engines[0]]
+    diffs: List[str] = []
+    for kind in engines[1:]:
+        for d in diff_values(baseline, values[kind]):
+            diffs.append(f"{kind}: {d}")
+    out["equal"] = not diffs
+    out["diffs"] = diffs
+    return out

@@ -1,15 +1,16 @@
-"""Engine equivalence: the fast calendar-queue engine must be
-observationally identical to the reference heapq engine.
+"""Engine equivalence: the fast calendar-queue engine and the compiled
+engine must be observationally identical to the reference heapq engine.
 
 Three layers of evidence, all with pinned hypothesis seeds
 (``derandomize=True``) so CI failures reproduce exactly:
 
 * raw-engine scripts — generated schedule/cancel/halt programs
-  interpreted on both engines must produce the same dispatch order,
+  interpreted on every engine must produce the same dispatch order,
   clock, processed count, pending count, and snapshot;
 * full-stack programs — generated :class:`~repro.langvm.Fem2Program`
   runs compared through :func:`repro.perf.assert_equivalent`
-  (result, clock, events, flat metrics, byte-identical fem2-ckpt/1);
+  (result, clock, events, flat metrics, byte-identical fem2-ckpt/1)
+  across the whole three-engine matrix, compiled fast path included;
 * the canned :data:`repro.perf.WORKLOADS` suite, which covers fault
   cancellation and message storms the generators keep small.
 """
@@ -20,12 +21,13 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.hardware.calqueue import FastEventEngine
+from repro.hardware.compiled import CompiledEventEngine
 from repro.hardware.events import EventEngine
 from repro.hardware.machine import MachineConfig
 from repro.langvm.program import Fem2Program
 from repro.perf import WORKLOADS, assert_equivalent
 
-ENGINES = (EventEngine, FastEventEngine)
+ENGINES = (EventEngine, FastEventEngine, CompiledEventEngine)
 
 SCRIPTS = settings(max_examples=60, deadline=None, derandomize=True,
                    suppress_health_check=[HealthCheck.too_slow])
@@ -72,43 +74,39 @@ def interpret(engine_cls, script, until=None, max_events=None, halt_tag=None):
     return state
 
 
+def agree(**kwargs):
+    """Interpret one script on every engine; all states must match the
+    reference engine's (the first in ENGINES)."""
+    ref, *rest = (interpret(cls, **kwargs) for cls in ENGINES)
+    for state, cls in zip(rest, ENGINES[1:]):
+        assert state == ref, f"{cls.__name__} diverged from the reference"
+
+
 class TestScriptedEquivalence:
     @SCRIPTS
     @given(scripts)
     def test_drain_to_completion(self, script):
-        ref, fast = (interpret(cls, script) for cls in ENGINES)
-        assert ref == fast
+        agree(script=script)
 
     @SCRIPTS
     @given(scripts, st.integers(0, 12))
     def test_run_until(self, script, until):
-        ref, fast = (interpret(cls, script, until=until) for cls in ENGINES)
-        assert ref == fast
+        agree(script=script, until=until)
 
     @SCRIPTS
     @given(scripts, st.integers(0, 6))
     def test_max_events(self, script, max_events):
-        ref, fast = (
-            interpret(cls, script, max_events=max_events) for cls in ENGINES
-        )
-        assert ref == fast
+        agree(script=script, max_events=max_events)
 
     @SCRIPTS
     @given(scripts, st.integers(0, 7))
     def test_halt_and_resume(self, script, halt_tag):
-        ref, fast = (
-            interpret(cls, script, halt_tag=halt_tag) for cls in ENGINES
-        )
-        assert ref == fast
+        agree(script=script, halt_tag=halt_tag)
 
     @SCRIPTS
     @given(scripts, st.integers(0, 12), st.integers(0, 6))
     def test_until_and_max_events_together(self, script, until, max_events):
-        ref, fast = (
-            interpret(cls, script, until=until, max_events=max_events)
-            for cls in ENGINES
-        )
-        assert ref == fast
+        agree(script=script, until=until, max_events=max_events)
 
 
 class TestEngineContract:
@@ -142,7 +140,8 @@ class TestEngineContract:
             eng.schedule(3, eng.schedule, 2, lambda: None)
             eng.run()
             return eng.snapshot()
-        assert drive(EventEngine()) == drive(FastEventEngine())
+        snaps = [drive(cls()) for cls in ENGINES]
+        assert all(s == snaps[0] for s in snaps[1:])
 
 
 # -- generated full-stack programs ----------------------------------------
@@ -207,6 +206,8 @@ class TestProgramEquivalence:
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
 def test_canned_workloads_identical(name):
     report = assert_equivalent(WORKLOADS[name], require_ckpt=True, label=name)
-    ref, fast = report["reference"], report["fast"]
-    assert ref.ckpt == fast.ckpt and ref.ckpt  # byte-identical, non-empty
-    assert ref.metrics and ref.metrics == fast.metrics
+    ref = report["reference"]
+    assert ref.ckpt and ref.metrics  # non-vacuous comparison
+    for run in report["runs"].values():
+        assert run.ckpt == ref.ckpt  # byte-identical blobs
+        assert run.metrics == ref.metrics

@@ -7,8 +7,9 @@ final clock, events processed, every flat metric, and the entire
 ordering, cycle accounting, metric naming, or tracing shows up as a
 one-line diff here before it can silently shift published benchmarks.
 
-Both engines are asserted against the *same* fixture: the golden bytes
-are also an engine-equivalence statement.
+All three engines — reference, fast, compiled — are asserted against
+the *same* fixture: the golden bytes are also an engine-equivalence
+statement, fused-burst fast path included.
 
 To regenerate after an intentional semantic change::
 
@@ -113,7 +114,7 @@ def golden_bytes(build):
 
 
 @pytest.mark.parametrize("name", sorted(GOLDEN_PROGRAMS))
-@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("engine", ["reference", "fast", "compiled"])
 def test_golden_trace(name, engine):
     path = FIXTURES / f"golden_{name}.json"
     with forced_engine(engine):
