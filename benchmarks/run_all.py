@@ -18,6 +18,14 @@ Usage::
     python benchmarks/run_all.py --json          # also dump JSON to stdout
     python benchmarks/run_all.py --out results/  # write elsewhere
     python benchmarks/run_all.py --lint          # lint src/+examples/ first
+    python benchmarks/run_all.py --append        # also keep a run history
+
+Reruns overwrite ``BENCH_<key>.json`` in place (it is always the last
+run).  With ``--append``, every payload is *also* appended as one line
+to ``BENCH_<key>.history.jsonl``, stamped with a monotonic
+``run_index`` (the history length, or ``--run-index N`` when a caller
+such as a campaign driver numbers the runs itself) — so repeated
+campaign sweeps accumulate instead of silently clobbering each other.
 
 Tracing is observational only: cycle counts in these records are
 identical to an untraced run (asserted in ``tests/test_obs.py``).
@@ -56,6 +64,7 @@ BENCHES = {
     "e13": ("bench_e13_checkpoint", "run_e13"),
     "e14": ("bench_e14_engine", "run_e14"),
     "e15": ("bench_e15_service", "run_e15"),
+    "e16": ("bench_e16_campaign", "run_e16"),
     "a1": ("bench_a1_placement", "run_a1"),
     "a2": ("bench_a2_topology", "run_a2"),
     "a3": ("bench_a3_reduction", "run_a3"),
@@ -138,6 +147,38 @@ def traced_profile() -> dict:
     }
 
 
+def history_path(out_dir: pathlib.Path, name: str) -> pathlib.Path:
+    return out_dir / f"BENCH_{name}.history.jsonl"
+
+
+def next_run_index(path: pathlib.Path) -> int:
+    """The monotonic index of the next appended run: one past the last
+    index already in the history (robust to hand-pruned files)."""
+    if not path.exists():
+        return 0
+    last = -1
+    for line in path.read_text().splitlines():
+        if line.strip():
+            last = max(last, json.loads(line).get("run_index", -1))
+    return last + 1
+
+
+def write_payload(payload: dict, out_dir: pathlib.Path, name: str,
+                  append: bool, run_index) -> pathlib.Path:
+    """``BENCH_<name>.json`` always holds the last run; with *append*
+    the stamped payload also lands in ``BENCH_<name>.history.jsonl``."""
+    if append:
+        hist = history_path(out_dir, name)
+        payload = dict(payload)
+        payload["run_index"] = (run_index if run_index is not None
+                                else next_run_index(hist))
+        with hist.open("a") as fh:
+            fh.write(json.dumps(payload) + "\n")
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
@@ -153,7 +194,17 @@ def main(argv=None) -> int:
     ap.add_argument("--lint", action="store_true",
                     help="self-check: lint src/ and examples/ first, "
                          "exit non-zero on findings")
+    ap.add_argument("--append", action="store_true",
+                    help="also append each payload to "
+                         "BENCH_<key>.history.jsonl with a run_index "
+                         "(BENCH_<key>.json stays the last run)")
+    ap.add_argument("--run-index", type=int, default=None, metavar="N",
+                    help="stamp appended payloads with this run index "
+                         "instead of the history length (for callers "
+                         "that number reruns themselves)")
     args = ap.parse_args(argv)
+    if args.run_index is not None and not args.append:
+        ap.error("--run-index only makes sense with --append")
 
     if args.lint:
         from repro.lint import lint_paths
@@ -170,8 +221,8 @@ def main(argv=None) -> int:
     for key in keys:
         print(f"[run_all] {key} ...", file=sys.stderr, flush=True)
         payload = run_bench(key)
-        path = args.out / f"BENCH_{key}.json"
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+        path = write_payload(payload, args.out, key,
+                             args.append, args.run_index)
         written.append(path)
         combined.append(payload)
         for rec in payload["records"]:
@@ -181,8 +232,8 @@ def main(argv=None) -> int:
     if not args.no_profile:
         print("[run_all] traced profile ...", file=sys.stderr, flush=True)
         payload = traced_profile()
-        path = args.out / "BENCH_profile.json"
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+        path = write_payload(payload, args.out, "profile",
+                             args.append, args.run_index)
         written.append(path)
         combined.append(payload)
 

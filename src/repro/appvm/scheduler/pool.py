@@ -283,6 +283,7 @@ class ServicePool:
         machine_slots: Optional[int] = 1,
         checkpointing: bool = True,
         persistent: bool = False,
+        plan_cache: Optional[Dict[tuple, Any]] = None,
     ) -> None:
         if n_machines < 1:
             raise AppVMError("a pool needs at least one machine")
@@ -312,8 +313,13 @@ class ServicePool:
         # machine clock); multi-machine pools trace at the sched.* level
         machine_tracer = tracer if (persistent and n_machines == 1) else None
         #: compiled plans per registry type tuple, shared by every pool
-        #: machine (the submit-time analogue of the lint-gate cache below)
-        self._plan_cache: Dict[tuple, Any] = {}
+        #: machine (the submit-time analogue of the lint-gate cache
+        #: below).  Pass *plan_cache* to share one cache across several
+        #: pools/services in a process — a campaign worker runs one
+        #: point per fresh service, and points with the same registry
+        #: shape then reuse one submit-time compilation.
+        self._plan_cache: Dict[tuple, Any] = \
+            plan_cache if plan_cache is not None else {}
         self.machines = [
             PoolMachine(i, self.config, journal=checkpointing,
                         tracer=machine_tracer, plans=self._plan_cache)

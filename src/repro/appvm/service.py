@@ -54,15 +54,20 @@ class MachineService:
     """Batches user solve requests onto one simulated FEM-2 machine."""
 
     def __init__(self, config: Optional[MachineConfig] = None, tracer=None,
-                 checkpointing: bool = False) -> None:
+                 checkpointing: bool = False, plan_cache=None) -> None:
         self.config = config or MachineConfig(memory_words_per_cluster=16_000_000)
         #: checkpointing turns on runtime journaling so the service's
         #: program can be snapshotted (see :meth:`checkpoint`)
         self.checkpointing = checkpointing
+        #: plan_cache shares compiled plans across services in one
+        #: process (see :class:`ServicePool`); campaign workers use it
+        #: so each point's fresh service skips recompilation when the
+        #: registry shape repeats
         self.pool = ServicePool(
             n_machines=1, config=self.config, tracer=tracer,
             quantum=None, machine_slots=None,
             checkpointing=checkpointing, persistent=True,
+            plan_cache=plan_cache,
         )
 
     @property

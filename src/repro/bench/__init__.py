@@ -1,6 +1,6 @@
 """Benchmark support: standard workloads and the experiment harness."""
 
-from .harness import Experiment, speedup_series
+from .harness import Experiment, speedup_series, summarize_series
 from .workloads import (
     BENCH_MATERIAL,
     Problem,
@@ -13,6 +13,7 @@ from .workloads import (
 __all__ = [
     "Experiment",
     "speedup_series",
+    "summarize_series",
     "BENCH_MATERIAL",
     "Problem",
     "default_config",

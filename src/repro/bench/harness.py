@@ -71,6 +71,19 @@ class Experiment:
             "spans": self.spans,
         }
 
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "Experiment":
+        """Rebuild an experiment from :meth:`to_record` output (the
+        campaign layer round-trips per-point records through this)."""
+        return cls(
+            exp_id=record["exp_id"],
+            title=record["title"],
+            headers=list(record.get("headers", [])),
+            rows=[list(r) for r in record.get("rows", [])],
+            notes=list(record.get("notes", [])),
+            spans=record.get("spans"),
+        )
+
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_record(), indent=indent)
 
@@ -95,3 +108,21 @@ def speedup_series(cycles: Sequence[int]) -> List[float]:
         return []
     base = cycles[0]
     return [base / c if c else float("inf") for c in cycles]
+
+
+def summarize_series(values: Sequence[float]) -> Dict[str, float]:
+    """Order-independent aggregate of one metric across many records:
+    ``{n, min, max, mean, total}``.  The campaign layer folds per-point
+    ``fem2-bench/1`` metrics through this, so a report's aggregate block
+    is identical however the points were distributed across workers."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return {"n": 0, "min": 0.0, "max": 0.0, "mean": 0.0, "total": 0.0}
+    total = sum(vals)
+    return {
+        "n": len(vals),
+        "min": min(vals),
+        "max": max(vals),
+        "mean": total / len(vals),
+        "total": total,
+    }

@@ -1,0 +1,112 @@
+"""Adaptive refinement: schedule the next wave where the response
+surface is steepest.
+
+After a wave completes, every evaluated point carries its observed
+machine metrics (simulated ``cycles`` and ``messages``).  For each
+numeric axis, points that agree on every *other* axis form a line; the
+refinement score of two adjacent points on a line is the relative
+variation of cycles and communication between them:
+
+    score = |Δcycles| / (Σcycles) + |Δmessages| / (Σmessages)
+
+The candidate a pair proposes is its midpoint on that axis (integer
+axes round down; a midpoint that collapses onto an endpoint proposes
+nothing).  Candidates are ranked by score, ties broken by canonical
+point key, deduplicated against everything already scheduled, and
+clipped to ``limit``.  Every candidate is inside the declared space by
+construction — a midpoint of two declared-span values stays in the
+closed span — and :func:`refine_candidates` re-checks that invariant
+anyway, so a buggy scorer can never leak an out-of-space point into
+the schedule (property-tested in ``tests/test_campaign_properties.py``).
+
+All inputs are simulated observables, so refinement is deterministic:
+the same records propose the same candidates in the same order
+regardless of host worker count or wave interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from .space import ParamSpace, Point, point_key
+
+#: metric keys refinement reads from a point record's ``metrics`` block
+SCORE_METRICS = ("cycles", "messages")
+
+
+def _metric(record: Dict[str, Any], key: str) -> float:
+    metrics = record.get("metrics") or {}
+    value = metrics.get(key, 0)
+    return float(value) if value is not None else 0.0
+
+
+def pair_score(a: Dict[str, Any], b: Dict[str, Any]) -> float:
+    """Relative cycles+comms variation between two point records."""
+    score = 0.0
+    for key in SCORE_METRICS:
+        x, y = _metric(a, key), _metric(b, key)
+        total = x + y
+        if total > 0:
+            score += abs(x - y) / total
+    return score
+
+
+def midpoint(lo: Any, hi: Any) -> Optional[Any]:
+    """The midpoint of two axis values, or None when none exists
+    strictly between them (adjacent ints, equal values)."""
+    if isinstance(lo, int) and isinstance(hi, int):
+        mid = (lo + hi) // 2
+        return mid if mid != lo and mid != hi else None
+    mid = (lo + hi) / 2.0
+    return mid if mid != lo and mid != hi else None
+
+
+def _lines(records: List[Dict[str, Any]], axis: str):
+    """Group records by every-other-axis value; each group is one line
+    along *axis*, sorted by the axis value."""
+    groups: Dict[Tuple[Tuple[str, Any], ...], List[Dict[str, Any]]] = {}
+    for rec in records:
+        point = rec["point"]
+        rest = tuple(sorted(
+            (n, v) for n, v in point.items() if n != axis))
+        groups.setdefault(rest, []).append(rec)
+    for rest in sorted(groups):
+        line = sorted(groups[rest], key=lambda r: r["point"][axis])
+        if len(line) >= 2:
+            yield line
+
+
+def refine_candidates(
+    space: ParamSpace,
+    records: List[Dict[str, Any]],
+    limit: int,
+    scheduled: Iterable[Tuple[Tuple[str, Any], ...]] = (),
+) -> List[Point]:
+    """The next wave's points: up to *limit* midpoints of the
+    steepest adjacent pairs, none outside *space*, none already in
+    *scheduled*, each proposed exactly once."""
+    if limit <= 0 or len(records) < 2:
+        return []
+    taken: Set[Tuple[Tuple[str, Any], ...]] = set(scheduled)
+    ranked: List[Tuple[float, Tuple[Tuple[str, Any], ...], Point]] = []
+    proposed: Set[Tuple[Tuple[str, Any], ...]] = set()
+    for axis_name in space.axis_names:
+        axis = space.axes[axis_name]
+        if not axis.numeric:
+            continue
+        for line in _lines(records, axis_name):
+            for a, b in zip(line, line[1:]):
+                mid = midpoint(a["point"][axis_name], b["point"][axis_name])
+                if mid is None:
+                    continue
+                candidate = dict(a["point"], **{axis_name: mid})
+                key = point_key(candidate)
+                if key in taken or key in proposed:
+                    continue
+                if not space.contains(candidate):
+                    continue
+                proposed.add(key)
+                ranked.append((pair_score(a, b), key, candidate))
+    # steepest first; canonical key breaks ties deterministically
+    ranked.sort(key=lambda item: (-item[0], item[1]))
+    return [candidate for _score, _key, candidate in ranked[:limit]]

@@ -9,7 +9,14 @@ rebuilds task coroutines by journal replay.
 """
 
 from .checkpoint import Checkpoint, Checkpointer, restore_program
-from .codec import MAGIC, VERSION, from_bytes, to_bytes
+from .codec import (
+    MAGIC,
+    VERSION,
+    content_fingerprint,
+    fingerprint,
+    from_bytes,
+    to_bytes,
+)
 
 __all__ = [
     "Checkpoint",
@@ -17,6 +24,8 @@ __all__ = [
     "restore_program",
     "MAGIC",
     "VERSION",
+    "content_fingerprint",
+    "fingerprint",
     "from_bytes",
     "to_bytes",
 ]

@@ -11,6 +11,7 @@ Layout: ``b"FEM2CKPT"`` + one version byte + zlib-compressed pickle.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import zlib
 from typing import Any
@@ -19,6 +20,58 @@ from ..errors import CkptError
 
 MAGIC = b"FEM2CKPT"
 VERSION = 1
+
+
+def fingerprint(blob: bytes) -> str:
+    """The sha256 hex digest of a checkpoint blob's exact bytes.
+
+    Blobs produced the same way are byte-deterministic (fixed pickle
+    protocol, fixed compression level, no host state in snapshots), so
+    campaign reports embed this digest instead of megabytes of blob —
+    any worker count must reproduce the same restart blobs bit for bit.
+    To compare machine *states* reached along different histories (a
+    restored program aliases its objects differently), use
+    :func:`content_fingerprint` instead.
+    """
+    if not isinstance(blob, (bytes, bytearray)) or not blob.startswith(MAGIC):
+        raise CkptError("not a FEM-2 checkpoint (bad magic)")
+    return hashlib.sha256(bytes(blob)).hexdigest()
+
+
+def content_fingerprint(state: Any) -> str:
+    """A sha256 digest of a snapshot tree's *content*.
+
+    Raw blob bytes encode host object-graph topology as well as state:
+    pickle memoizes shared references, and a restored program aliases
+    its arrays differently than the original (journal replay feeds
+    tasks deep copies), so two machines in identical simulated states
+    can still produce different blob bytes.  This digest walks the tree
+    instead — mappings hashed key-sorted, sequences in order, every
+    leaf pickled independently — so it depends only on the state a
+    snapshot describes, never on how the host happened to share the
+    objects holding it.  Equal digests mean equal machine states; the
+    campaign layer uses this to prove a warm-restarted point finished
+    in exactly the state a cold run reaches.
+    """
+    h = hashlib.sha256()
+    _feed_content(state, h)
+    return h.hexdigest()
+
+
+def _feed_content(value: Any, h: "hashlib._Hash") -> None:
+    if isinstance(value, dict):
+        h.update(b"map%d:" % len(value))
+        for key in sorted(value, key=lambda k: (type(k).__name__, repr(k))):
+            _feed_content(key, h)
+            _feed_content(value[key], h)
+    elif isinstance(value, (list, tuple)):
+        h.update(b"seq%d:" % len(value))
+        for item in value:
+            _feed_content(item, h)
+    else:
+        leaf = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        h.update(b"leaf%d:" % len(leaf))
+        h.update(leaf)
 
 
 def to_bytes(state: Any) -> bytes:

@@ -109,6 +109,12 @@ class CkptError(Fem2Error):
     snapshotting a non-journaling runtime, or a corrupt/mismatched blob."""
 
 
+class CampaignError(Fem2Error):
+    """Errors from the parameter-sweep campaign layer
+    (``repro.campaign``): malformed spaces, bad options, or a worker
+    pool that failed to produce a point record."""
+
+
 class DesignError(Fem2Error):
     """Errors from the design-method core (``repro.core``)."""
 

@@ -72,6 +72,9 @@ class Message:
     src_cluster: int = 0
     dst_cluster: int = 0
     size_words: int = 0
+    #: construction-time placeholder; the OS re-stamps this from its own
+    #: snapshotted counter when the message is sent, so wire ids depend
+    #: only on the run's history (never on host-process history)
     msg_id: int = field(default_factory=lambda: next(_msg_seq))
 
     def validate(self) -> None:

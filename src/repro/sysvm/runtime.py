@@ -177,6 +177,7 @@ class Runtime:
         self._tid = 1
         self._call_id = 1
         self._rr = 0
+        self._msg_id = 1
         #: record every value fed to task coroutines, enabling
         #: checkpoint/restore via deterministic replay (costs deepcopies,
         #: so it is opt-in — Fem2Program(journal=True) turns it on)
@@ -529,6 +530,12 @@ class Runtime:
     # -- message plumbing -------------------------------------------------------------
 
     def _send(self, src: int, dst: int, msg: Message, extra_delay: int = 0) -> None:
+        # stamp the wire id from OS state, not the construction-time
+        # default: ids must be a function of this run's own history so a
+        # mid-run checkpoint (which pickles in-flight messages) is
+        # byte-identical across host processes
+        msg.msg_id = self._msg_id
+        self._msg_id += 1
         encode(msg, src, dst)
         # per-kind counter cells, cached so the hot path does one dict
         # probe on the enum instead of building two f-strings per message
@@ -1103,6 +1110,7 @@ class Runtime:
             "tid": self._tid,
             "call_id": self._call_id,
             "rr": self._rr,
+            "msg_id": self._msg_id,
             "data": self.data.snapshot(),
             "heaps": [h.snapshot() for h in self.heaps],
             "code_stores": [cs.snapshot() for cs in self.code_stores],
@@ -1133,6 +1141,7 @@ class Runtime:
         self._tid = state["tid"]
         self._call_id = state["call_id"]
         self._rr = state["rr"]
+        self._msg_id = state["msg_id"]
         self.data.restore(state["data"])
         for heap, hstate in zip(self.heaps, state["heaps"]):
             heap.restore(hstate)

@@ -6,12 +6,16 @@ replaying, must produce bit-identical root-task results *and* final
 cycle counts versus the fault-free run.
 """
 
+import hashlib
+
 import numpy as np
 import pytest
 
 from repro.ckpt import (
     Checkpoint,
     Checkpointer,
+    content_fingerprint,
+    fingerprint,
     from_bytes,
     restore_program,
     to_bytes,
@@ -50,6 +54,37 @@ class TestCodec:
         blob[8] = 99  # version byte follows the 8-byte magic
         with pytest.raises(CkptError):
             from_bytes(bytes(blob))
+
+    def test_fingerprint_is_blob_sha256(self):
+        blob = to_bytes({"k": 1})
+        assert fingerprint(blob) == hashlib.sha256(blob).hexdigest()
+        with pytest.raises(CkptError):
+            fingerprint(b"NOTACKPT" + blob)
+
+    def test_content_fingerprint_sees_state_not_aliasing(self):
+        shared = np.arange(6.0)
+        aliased = {"a": shared, "b": shared}
+        copied = {"a": np.arange(6.0), "b": np.arange(6.0)}
+        # same state, different host object graphs: blob bytes differ
+        # (pickle memoizes the shared array), content digests agree
+        assert to_bytes(aliased) != to_bytes(copied)
+        assert content_fingerprint(aliased) == content_fingerprint(copied)
+
+    def test_content_fingerprint_sees_every_change(self):
+        base = {"m": {"x": 1, "y": [1, 2.5]}, "v": np.arange(3.0)}
+        digest = content_fingerprint(base)
+        assert content_fingerprint({"m": {"x": 1, "y": [1, 2.5]},
+                                    "v": np.arange(3.0)}) == digest
+        changed = {"m": {"x": 1, "y": [1, 2.5]}, "v": np.arange(4.0)}
+        assert content_fingerprint(changed) != digest
+        assert content_fingerprint({"m": base["m"]}) != digest
+
+    def test_content_fingerprint_sequences_are_ordered(self):
+        assert (content_fingerprint([1, 2, 3])
+                != content_fingerprint([3, 2, 1]))
+        # mappings hash key-sorted: insertion order is host history
+        assert (content_fingerprint({"a": 1, "b": 2})
+                == content_fingerprint({"b": 2, "a": 1}))
 
 
 # ---------------------------------------------------------------------------

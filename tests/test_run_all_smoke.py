@@ -1,7 +1,9 @@
-"""Smoke test: the benchmark driver produces valid machine-readable
-records for the acceptance trio (E1/E2/E9) plus the traced profile."""
+"""Smoke tests for the benchmark driver: the acceptance trio (E1/E2/E9)
+plus the traced profile produce valid machine-readable records, and the
+``--append`` rerun path accumulates history instead of clobbering it."""
 
 import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -41,3 +43,58 @@ def test_run_all_quick_writes_valid_json(tmp_path):
     assert kinds["hw.event"]["count"] > 0
     # the span tree roots at the job
     assert any(node["kind"] == "appvm.job" for node in profile["tree"])
+
+
+def run_e16(tmp_path, *extra):
+    env = dict(os.environ,
+               FEM2_E16_POINTS="4", FEM2_E16_WORKERS="1",
+               PYTHONPATH=str(ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, str(RUN_ALL), "--only", "e16", "--no-profile",
+         "--out", str(tmp_path), *extra],
+        capture_output=True, text=True, timeout=600, env=env,
+    )
+
+
+def test_run_all_append_accumulates_history(tmp_path):
+    """Reruns keep BENCH_<key>.json as the last run while the history
+    sidecar grows one stamped line per run."""
+    for expected_index in (0, 1):
+        proc = run_e16(tmp_path, "--append")
+        assert proc.returncode == 0, proc.stderr
+        last = json.loads((tmp_path / "BENCH_e16.json").read_text())
+        assert last["schema"] == "fem2-bench/1"
+        assert last["run_index"] == expected_index
+        lines = [json.loads(line) for line in
+                 (tmp_path / "BENCH_e16.history.jsonl")
+                 .read_text().splitlines()]
+        assert [p["run_index"] for p in lines] == \
+            list(range(expected_index + 1))
+        assert lines[-1]["records"] == last["records"]
+
+    # a caller-numbered rerun wins over the history length
+    proc = run_e16(tmp_path, "--append", "--run-index", "7")
+    assert proc.returncode == 0, proc.stderr
+    lines = [json.loads(line) for line in
+             (tmp_path / "BENCH_e16.history.jsonl").read_text().splitlines()]
+    assert [p["run_index"] for p in lines] == [0, 1, 7]
+    # and the next auto-indexed run continues past it
+    proc = run_e16(tmp_path, "--append")
+    assert proc.returncode == 0, proc.stderr
+    lines = (tmp_path / "BENCH_e16.history.jsonl").read_text().splitlines()
+    assert json.loads(lines[-1])["run_index"] == 8
+
+
+def test_run_all_without_append_overwrites_in_place(tmp_path):
+    for _ in range(2):
+        proc = run_e16(tmp_path)
+        assert proc.returncode == 0, proc.stderr
+    doc = json.loads((tmp_path / "BENCH_e16.json").read_text())
+    assert "run_index" not in doc  # stamped only on the history path
+    assert not (tmp_path / "BENCH_e16.history.jsonl").exists()
+
+
+def test_run_index_requires_append(tmp_path):
+    proc = run_e16(tmp_path, "--run-index", "3")
+    assert proc.returncode != 0
+    assert "--run-index" in proc.stderr
